@@ -1,0 +1,96 @@
+package after_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"after"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface: generate, save,
+// load, train, infer, evaluate, and run a study — the quickstart contract.
+func TestFacadeEndToEnd(t *testing.T) {
+	room, err := after.GenerateRoom(after.DatasetConfig{
+		Kind: after.SMM, RoomUsers: 18, T: 12, Seed: 5, PlatformUsers: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if room.N != 18 || room.T() != 12 {
+		t.Fatalf("room N=%d T=%d", room.N, room.T())
+	}
+
+	// Round-trip through disk.
+	path := filepath.Join(t.TempDir(), "room.gob")
+	if err := room.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := after.LoadRoom(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N != room.N {
+		t.Fatal("round trip lost users")
+	}
+
+	cfg := after.DefaultModelConfig()
+	cfg.Epochs = 2
+	model := after.NewPOSHGNN(cfg)
+	if _, err := model.Train([]after.Episode{{Room: room, Target: 0}}); err != nil {
+		t.Fatal(err)
+	}
+
+	dog := after.BuildDOG(1, room.Traj, room.AvatarRadius)
+	sess := model.StartEpisode(room, 1)
+	for ti := 0; ti <= room.T(); ti++ {
+		rendered := sess.Step(ti, dog.At(ti))
+		if len(rendered) != room.N || rendered[1] {
+			t.Fatal("invalid rendered set")
+		}
+	}
+
+	recs := []after.Recommender{
+		after.AsRecommender(model, "POSHGNN"),
+		after.NewRandomBaseline(5, 1),
+		after.NewNearestBaseline(5),
+		after.NewRenderAll(),
+		after.NewMvAGC(3, 1),
+		after.NewGraFrank(5, 1),
+		after.NewCOMURNet(5, -1, 1),
+	}
+	results, err := after.Evaluate(recs, room, after.DefaultTargets(room, 2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(recs) {
+		t.Fatalf("results for %d methods", len(results))
+	}
+	if results["COMURNet"].OcclusionRate != 0 {
+		t.Errorf("idealized COMURNet occlusion = %v", results["COMURNet"].OcclusionRate)
+	}
+
+	study, err := after.RunStudy(after.StudyConfig{Room: room, Beta: 0.5, Seed: 2},
+		[]after.Recommender{after.NewNearestBaseline(5), after.NewRenderAll()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Outcomes) != 2 {
+		t.Fatalf("study outcomes = %d", len(study.Outcomes))
+	}
+}
+
+func TestFacadeConstantsAndKinds(t *testing.T) {
+	if after.Timik.String() != "Timik" || after.SMM.String() != "SMM" || after.Hubs.String() != "Hub" {
+		t.Error("dataset kind names")
+	}
+	if after.MR.String() != "MR" || after.VR.String() != "VR" {
+		t.Error("interface names")
+	}
+	if after.DefaultAvatarRadius <= 0 {
+		t.Error("avatar radius")
+	}
+	cfg := after.DefaultModelConfig()
+	if !cfg.UseMIA || !cfg.UseLWP || cfg.Hidden != 8 {
+		t.Errorf("default model config = %+v", cfg)
+	}
+}

@@ -1,0 +1,94 @@
+// Command aftersim regenerates the paper's evaluation artifacts. Each
+// experiment id corresponds to one table or figure of the paper:
+//
+//	aftersim -exp table2            # Table II  (Timik comparison)
+//	aftersim -exp table3            # Table III (SMM comparison)
+//	aftersim -exp table4            # Table IV  (Hub comparison)
+//	aftersim -exp table5            # Table V   (ablation)
+//	aftersim -exp table6            # Table VI  (sensitivity to N)
+//	aftersim -exp table7            # Table VII (sensitivity to VR share)
+//	aftersim -exp table8            # Table VIII (correlations)
+//	aftersim -exp fig4              # Fig. 4    (user study panels)
+//	aftersim -exp all               # everything, in order
+//
+// -scale shrinks rooms and horizons proportionally (1 = paper scale, which
+// trains several models and can take many minutes; 0.3 reproduces the same
+// shapes in a coffee break). -quick collapses the model-selection grid to a
+// single configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"after/internal/exp"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "all", "experiment id: table2..table8, fig4, or all")
+		scale = flag.Float64("scale", 1.0, "room/horizon scale factor (1 = paper scale)")
+		quick = flag.Bool("quick", false, "single training configuration instead of the selection grid")
+		seed  = flag.Int64("seed", 0, "seed offset for all generators and trainers")
+	)
+	flag.Parse()
+	opts := exp.Options{Scale: *scale, Quick: *quick, Seed: *seed}
+
+	runners := map[string]func(exp.Options) (string, error){
+		"table2": tableRunner(exp.Table2),
+		"table3": tableRunner(exp.Table3),
+		"table4": tableRunner(exp.Table4),
+		"table5": tableRunner(exp.Table5),
+		"table6": tableRunner(exp.Table6),
+		"table7": tableRunner(exp.Table7),
+		"table8": func(o exp.Options) (string, error) {
+			s, err := exp.RunStudy(o)
+			if err != nil {
+				return "", err
+			}
+			return s.FormatTable8(), nil
+		},
+		"fig4": func(o exp.Options) (string, error) {
+			s, err := exp.RunStudy(o)
+			if err != nil {
+				return "", err
+			}
+			return s.FormatFig4(), nil
+		},
+	}
+	order := []string{"table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig4"}
+
+	ids := []string{strings.ToLower(*expID)}
+	if ids[0] == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "aftersim: unknown experiment %q (want one of %s, all)\n",
+				id, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		out, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aftersim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func tableRunner(f func(exp.Options) (*exp.Table, error)) func(exp.Options) (string, error) {
+	return func(o exp.Options) (string, error) {
+		t, err := f(o)
+		if err != nil {
+			return "", err
+		}
+		return t.Format(), nil
+	}
+}

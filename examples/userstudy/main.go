@@ -1,0 +1,88 @@
+// Simulated user study: the paper's Sec. V-C experiment with 48 simulated
+// participants in one shared conferencing room, five display methods, and
+// Likert feedback from a calibrated response model. Prints the Fig. 4
+// panels and the Table VIII correlations.
+//
+//	go run ./examples/userstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"after"
+)
+
+func main() {
+	// The shared room: every one of the 48 users doubles as a participant.
+	room, err := after.GenerateRoom(after.DatasetConfig{
+		Kind: after.SMM, RoomUsers: 48, T: 40, Seed: 23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train POSHGNN on two sibling rooms so the study room stays held out,
+	// with a few restarts selected on a third validation room (training is
+	// initialization-sensitive; the paper's pipeline does the same).
+	rooms, err := after.GenerateRooms(after.DatasetConfig{
+		Kind: after.SMM, RoomUsers: 48, T: 40, Seed: 777,
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valRoom := rooms[2]
+	var eps []after.Episode
+	for _, r := range rooms[:2] {
+		for _, t := range after.DefaultTargets(r, 3) {
+			eps = append(eps, after.Episode{Room: r, Target: t})
+		}
+	}
+	var model *after.POSHGNN
+	bestVal := -1.0
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := after.DefaultModelConfig()
+		cfg.Epochs = 6
+		cfg.Seed = seed
+		cand := after.NewPOSHGNN(cfg)
+		if _, err := cand.Train(eps); err != nil {
+			log.Fatal(err)
+		}
+		res, err := after.Evaluate([]after.Recommender{after.AsRecommender(cand, "cand")},
+			valRoom, after.DefaultTargets(valRoom, 3), 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v := res["cand"].Utility; v > bestVal {
+			model, bestVal = cand, v
+		}
+	}
+
+	methods := []after.Recommender{
+		after.AsRecommender(model, "POSHGNN"),
+		after.NewGraFrank(0, 5),
+		after.NewMvAGC(0, 6),
+		after.NewCOMURNet(0, 3, 7),
+		after.NewRenderAll(),
+	}
+	study, err := after.RunStudy(after.StudyConfig{Room: room, Beta: 0.5, Seed: 9}, methods)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("48-participant simulated study (5-point Likert feedback):")
+	fmt.Printf("%-10s %14s %14s %14s %14s\n",
+		"method", "utility/step", "satisfaction", "pref score", "social score")
+	for _, o := range study.Outcomes {
+		fmt.Printf("%-10s %14.3f %14.2f %14.2f %14.2f\n",
+			o.Method, o.Utility, o.Feedback, o.PreferenceFeedback, o.SocialFeedback)
+	}
+	fmt.Printf("\nfeedback ranking: %v\n", study.Ranking())
+	fmt.Println("\nTable VIII-style correlation between utilities and feedback:")
+	fmt.Printf("  Pearson : pref=%.3f social=%.3f overall=%.3f\n",
+		study.PearsonPref, study.PearsonSocial, study.PearsonUtility)
+	fmt.Printf("  Spearman: pref=%.3f social=%.3f overall=%.3f\n",
+		study.SpearmanPref, study.SpearmanSocial, study.SpearmanUtility)
+	fmt.Println("\nStrong positive correlations mean the AFTER utility is a reliable")
+	fmt.Println("proxy for subjective satisfaction — the paper's Table VIII claim.")
+}

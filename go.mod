@@ -1,0 +1,3 @@
+module after
+
+go 1.22

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"after/internal/crowd"
+	"after/internal/dataset"
+	"after/internal/geom"
+	"after/internal/occlusion"
+	"after/internal/socialgraph"
+	"after/internal/tensor"
+)
+
+// testRoom builds a deterministic 5-user room: target 0 at origin, user 1 at
+// (1.5,0), user 2 at (3,0) behind 1, user 3 at (0,2), user 4 at (-2,-2).
+// Frames are frozen for steps+1 ticks. Interfaces: 1 and 3 are MR.
+func testRoom(steps int) *dataset.Room {
+	positions := []geom.Vec2{{}, {X: 1.5}, {X: 3}, {Z: 2}, {X: -2, Z: -2}}
+	pos := make([][]geom.Vec2, steps+1)
+	for t := range pos {
+		pos[t] = positions
+	}
+	n := 5
+	g := socialgraph.New(n)
+	g.AddEdge(0, 3, 1)
+	p := make([]float64, n*n)
+	s := make([]float64, n*n)
+	for w := 1; w < n; w++ {
+		p[0*n+w] = 0.5 + 0.1*float64(w)
+		s[0*n+w] = 0.2 * float64(w)
+	}
+	ifaces := make([]occlusion.Interface, n)
+	ifaces[0] = occlusion.MR
+	ifaces[1] = occlusion.MR
+	ifaces[3] = occlusion.MR
+	return &dataset.Room{
+		Name:         "core-test",
+		N:            n,
+		Graph:        g,
+		Interfaces:   ifaces,
+		Traj:         &crowd.Trajectories{Pos: pos},
+		P:            p,
+		S:            s,
+		AvatarRadius: occlusion.DefaultAvatarRadius,
+	}
+}
+
+func movingRoom(steps int, seed int64) *dataset.Room {
+	r, err := dataset.Generate(dataset.Config{
+		Kind: dataset.Hubs, PlatformUsers: 200, RoomUsers: 15, T: steps, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestMIAAggregateBasics(t *testing.T) {
+	room := testRoom(1)
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	mia := MIA{Enabled: true}
+	out := mia.Aggregate(room, dog.At(0), nil)
+	if out.X.Rows != 5 || out.X.Cols != featureDim {
+		t.Fatalf("X shape %dx%d", out.X.Rows, out.X.Cols)
+	}
+	// Target row must be all zero and masked.
+	for j := 0; j < featureDim; j++ {
+		if out.X.At(0, j) != 0 {
+			t.Error("target row not zeroed")
+		}
+	}
+	if out.Mask.At(0, 0) != 0 {
+		t.Error("target not masked")
+	}
+	// User 2 hides behind physical MR user 1 for the MR target → masked.
+	if out.Mask.At(2, 0) != 0 {
+		t.Error("physically occluded user not pruned")
+	}
+	if out.Mask.At(1, 0) != 1 || out.Mask.At(3, 0) != 1 || out.Mask.At(4, 0) != 1 {
+		t.Error("visible users wrongly pruned")
+	}
+	// Utilities feed through unscaled (distance is its own feature column).
+	if out.X.At(4, 0) != room.Pref(0, 4) {
+		t.Error("preference feature altered")
+	}
+	if out.X.At(4, 2) <= 0 || out.X.At(4, 2) > 1 {
+		t.Error("distance feature out of range")
+	}
+	// Interface feature: MR users carry 1.
+	if out.X.At(1, 3) != 1 || out.X.At(2, 3) != 0 {
+		t.Error("interface feature wrong")
+	}
+	// Masked users contribute zero normalized utility.
+	if out.PHat.At(2, 0) != 0 {
+		t.Error("pruned user kept utility")
+	}
+}
+
+func TestMIADisabledPassThrough(t *testing.T) {
+	room := testRoom(1)
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	mia := MIA{Enabled: false}
+	out := mia.Aggregate(room, dog.At(0), dog.At(0))
+	// Everyone but the target unmasked, zero Δ.
+	if out.Mask.At(2, 0) != 1 {
+		t.Error("disabled MIA should not prune")
+	}
+	for w := 0; w < 5; w++ {
+		for j := 0; j < deltaDim; j++ {
+			if out.Delta.At(w, j) != 0 {
+				t.Error("disabled MIA should emit zero delta")
+			}
+		}
+	}
+}
+
+func TestMIADeltaReflectsChange(t *testing.T) {
+	room := testRoom(1)
+	// Frame A: original; frame B: user 2 moved beside user 4 (edge set changes).
+	posB := []geom.Vec2{{}, {X: 1.5}, {X: -2, Z: -1.6}, {Z: 2}, {X: -2, Z: -2}}
+	frameA := occlusion.BuildStatic(0, room.Traj.Pos[0], room.AvatarRadius)
+	frameB := occlusion.BuildStatic(0, posB, room.AvatarRadius)
+	mia := MIA{Enabled: true}
+	outSame := mia.Aggregate(room, frameA, frameA)
+	outDiff := mia.Aggregate(room, frameB, frameA)
+	for w := 0; w < 5; w++ {
+		if outSame.Delta.At(w, 1) != 0 || outSame.Delta.At(w, 2) != 0 {
+			t.Error("identical frames should give zero structural diff")
+		}
+		if outSame.Delta.At(w, 0) != 1 {
+			t.Error("e0 column must be all ones")
+		}
+	}
+	changed := false
+	for w := 0; w < 5; w++ {
+		if outDiff.Delta.At(w, 1) != 0 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("edge change not reflected in delta")
+	}
+}
+
+func TestMIABlocklist(t *testing.T) {
+	room := testRoom(1)
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	mia := MIA{Enabled: true, Blocklist: []bool{false, true, false, false, false}}
+	out := mia.Aggregate(room, dog.At(0), nil)
+	if out.Mask.At(1, 0) != 0 {
+		t.Error("blocklisted user not masked")
+	}
+}
+
+func TestForwardShapesAndRange(t *testing.T) {
+	room := testRoom(2)
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	m := New(Config{UseMIA: true, UseLWP: true, Seed: 1})
+	out := m.forward(room, dog.At(0), nil, nil, nil)
+	if out.r.Rows() != 5 || out.r.Cols() != 1 {
+		t.Fatalf("r shape %dx%d", out.r.Rows(), out.r.Cols())
+	}
+	if out.h.Cols() != m.cfg.Hidden {
+		t.Fatalf("h cols %d", out.h.Cols())
+	}
+	for w := 0; w < 5; w++ {
+		v := out.r.Value.At(w, 0)
+		if v < 0 || v > 1 {
+			t.Fatalf("r[%d]=%v out of [0,1]", w, v)
+		}
+	}
+	if out.r.Value.At(0, 0) != 0 {
+		t.Error("target has nonzero recommendation probability")
+	}
+	if out.sigma == nil {
+		t.Error("LWP enabled but sigma nil")
+	}
+}
+
+func TestForwardWithoutLWP(t *testing.T) {
+	room := testRoom(1)
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	m := New(Config{UseMIA: true, UseLWP: false, Seed: 1})
+	out := m.forward(room, dog.At(0), nil, nil, nil)
+	if out.sigma != nil {
+		t.Error("LWP disabled but sigma produced")
+	}
+	if out.r.Value.At(0, 0) != 0 {
+		t.Error("mask not applied without LWP")
+	}
+}
+
+func TestStepLossNonNegative(t *testing.T) {
+	room := testRoom(3)
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	m := New(Config{UseMIA: true, UseLWP: true, Seed: 2})
+	var prevR *tensor.Tensor
+	for t2, frame := range dog.Frames {
+		var prev *occlusion.StaticGraph
+		if t2 > 0 {
+			prev = dog.Frames[t2-1]
+		}
+		out := m.forward(room, frame, prev, prevR, nil)
+		l := m.stepLoss(out, prevR)
+		if l.Value.Data[0] < -1e-9 {
+			t.Fatalf("loss %v negative at step %d", l.Value.Data[0], t2)
+		}
+		prevR = tensor.Detach(out.r)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	room := movingRoom(30, 3)
+	m := New(Config{UseMIA: true, UseLWP: true, Epochs: 4, Seed: 3})
+	stats, err := m.Train([]Episode{{Room: room, Target: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Losses) != 4 {
+		t.Fatalf("losses = %v", stats.Losses)
+	}
+	first, last := stats.Losses[0], stats.Losses[len(stats.Losses)-1]
+	if !(last < first) {
+		t.Errorf("training did not reduce loss: %v -> %v", first, last)
+	}
+	for _, l := range stats.Losses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("unstable training: %v", stats.Losses)
+		}
+	}
+}
+
+func TestTrainingAblationsRun(t *testing.T) {
+	room := movingRoom(10, 4)
+	for _, cfg := range []Config{
+		{UseMIA: true, UseLWP: false, Epochs: 1, Seed: 5},
+		{UseMIA: false, UseLWP: false, Epochs: 1, Seed: 5},
+		{UseMIA: false, UseLWP: true, Epochs: 1, Seed: 5},
+	} {
+		m := New(cfg)
+		if _, err := m.Train([]Episode{{Room: room, Target: 1}}); err != nil {
+			t.Errorf("ablation %+v failed: %v", cfg, err)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	m := New(DefaultConfig())
+	if _, err := m.Train(nil); err == nil {
+		t.Error("empty episodes accepted")
+	}
+	room := testRoom(1)
+	if _, err := m.Train([]Episode{{Room: room, Target: 99}}); err == nil {
+		t.Error("bad target accepted")
+	}
+}
+
+func TestSessionStepProducesValidSets(t *testing.T) {
+	room := movingRoom(15, 6)
+	m := New(Config{UseMIA: true, UseLWP: true, Epochs: 1, Seed: 7})
+	if _, err := m.Train([]Episode{{Room: room, Target: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	dog := occlusion.BuildDOG(2, room.Traj, room.AvatarRadius)
+	sess := m.StartEpisode(room, 2)
+	for ti, frame := range dog.Frames {
+		rendered := sess.Step(ti, frame)
+		if len(rendered) != room.N {
+			t.Fatalf("rendered length %d", len(rendered))
+		}
+		if rendered[2] {
+			t.Fatal("target rendered to herself")
+		}
+	}
+	if probs := sess.Probabilities(); probs == nil || len(probs) != room.N {
+		t.Error("probabilities unavailable after stepping")
+	}
+}
+
+func TestSessionDeterministic(t *testing.T) {
+	room := movingRoom(10, 8)
+	m := New(Config{UseMIA: true, UseLWP: true, Seed: 9})
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	run := func() [][]bool {
+		sess := m.StartEpisode(room, 0)
+		var out [][]bool
+		for ti, f := range dog.Frames {
+			out = append(out, sess.Step(ti, f))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for ti := range a {
+		for w := range a[ti] {
+			if a[ti][w] != b[ti][w] {
+				t.Fatal("sessions with identical state diverged")
+			}
+		}
+	}
+}
+
+func TestEpisodeLossFinite(t *testing.T) {
+	room := movingRoom(8, 10)
+	m := New(DefaultConfig())
+	l := m.EpisodeLoss(room, 0)
+	if math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
+		t.Errorf("episode loss = %v", l)
+	}
+}
+
+func TestStartEpisodeBadTargetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(DefaultConfig()).StartEpisode(testRoom(1), -1)
+}

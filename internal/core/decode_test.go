@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"after/internal/occlusion"
+	"after/internal/tensor"
+)
+
+func TestDecodeRecommendationConflictFree(t *testing.T) {
+	room := testRoom(1)
+	frame := occlusion.BuildStatic(0, room.Traj.Pos[0], room.AvatarRadius)
+	// Users 1 and 2 overlap (collinear); give both high probability plus
+	// user 3 clear.
+	r := tensor.FromColumn([]float64{0, 0.9, 0.8, 0.7, 0.2})
+	rendered := decodeRecommendation(r, frame, 0, 0.5, 0)
+	if !rendered[1] {
+		t.Error("highest-probability user dropped")
+	}
+	if rendered[2] {
+		t.Error("conflicting lower-probability user admitted")
+	}
+	if !rendered[3] {
+		t.Error("clear above-threshold user dropped")
+	}
+	if rendered[4] {
+		t.Error("below-threshold user admitted")
+	}
+	if rendered[0] {
+		t.Error("target admitted")
+	}
+}
+
+func TestDecodeRecommendationOrderMatters(t *testing.T) {
+	room := testRoom(1)
+	frame := occlusion.BuildStatic(0, room.Traj.Pos[0], room.AvatarRadius)
+	// Now user 2 outranks user 1: the admitted one flips.
+	r := tensor.FromColumn([]float64{0, 0.6, 0.95, 0.1, 0.1})
+	rendered := decodeRecommendation(r, frame, 0, 0.5, 0)
+	if !rendered[2] || rendered[1] {
+		t.Errorf("decode order wrong: %v", rendered)
+	}
+}
+
+func TestSessionDecodedSetsAreOcclusionFree(t *testing.T) {
+	room := movingRoom(12, 20)
+	m := New(Config{UseMIA: true, UseLWP: true, Epochs: 2, Seed: 3})
+	if _, err := m.Train([]Episode{{Room: room, Target: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	dog := occlusion.BuildDOG(1, room.Traj, room.AvatarRadius)
+	sess := m.StartEpisode(room, 1)
+	for ti, frame := range dog.Frames {
+		rendered := sess.Step(ti, frame)
+		for i := 0; i < room.N; i++ {
+			if !rendered[i] {
+				continue
+			}
+			for _, j := range frame.Neighbors(i) {
+				if rendered[j] {
+					t.Fatalf("step %d: decoded set has conflict %d-%d", ti, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRawDecodeSkipsDecoder(t *testing.T) {
+	room := testRoom(2)
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	// With RawDecode and threshold ~0, every unmasked non-target user
+	// renders, even conflicting ones (MIA off so nothing is pruned).
+	m := New(Config{UseMIA: false, UseLWP: true, RawDecode: true, Threshold: 1e-12, Seed: 4})
+	sess := m.StartEpisode(room, 0)
+	rendered := sess.Step(0, dog.At(0))
+	count := 0
+	for w, on := range rendered {
+		if on && w != 0 {
+			count++
+		}
+	}
+	// Users 1 and 2 overlap; raw decode must keep both (no de-occlusion).
+	if !rendered[1] || !rendered[2] {
+		t.Error("raw decode removed conflicting users")
+	}
+	if count < 3 {
+		t.Errorf("raw decode rendered only %d users", count)
+	}
+}
+
+func TestSetBlocklistEndToEnd(t *testing.T) {
+	room := movingRoom(8, 21)
+	m := New(Config{UseMIA: true, UseLWP: true, Epochs: 1, Seed: 5})
+	if _, err := m.Train([]Episode{{Room: room, Target: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Block every user except 1 and 2: nothing else may ever render.
+	block := make([]bool, room.N)
+	for w := 3; w < room.N; w++ {
+		block[w] = true
+	}
+	m.SetBlocklist(block)
+	defer m.SetBlocklist(nil)
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	sess := m.StartEpisode(room, 0)
+	for ti, frame := range dog.Frames {
+		rendered := sess.Step(ti, frame)
+		for w := 3; w < room.N; w++ {
+			if rendered[w] {
+				t.Fatalf("step %d: blocklisted user %d rendered", ti, w)
+			}
+		}
+	}
+	if got := m.Config(); !got.UseMIA {
+		t.Error("Config accessor broken")
+	}
+	if m.Params().Count() == 0 {
+		t.Error("Params accessor broken")
+	}
+}
+
+func TestDecodeBudget(t *testing.T) {
+	room := testRoom(1)
+	frame := occlusion.BuildStatic(0, room.Traj.Pos[0], room.AvatarRadius)
+	r := tensor.FromColumn([]float64{0, 0.9, 0.1, 0.8, 0.7})
+	// Unlimited: admits 1, 3, 4 (2 is below threshold).
+	if got := countTrue(decodeRecommendation(r, frame, 0, 0.5, 0)); got != 3 {
+		t.Errorf("unbudgeted admits = %d", got)
+	}
+	// Budget 2: only the top two clear candidates.
+	capped := decodeRecommendation(r, frame, 0, 0.5, 2)
+	if got := countTrue(capped); got != 2 {
+		t.Errorf("budgeted admits = %d", got)
+	}
+	if !capped[1] || !capped[3] {
+		t.Errorf("budget kept wrong users: %v", capped)
+	}
+}
+
+func countTrue(bs []bool) int {
+	c := 0
+	for _, b := range bs {
+		if b {
+			c++
+		}
+	}
+	return c
+}

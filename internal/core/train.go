@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"after/internal/dataset"
+	"after/internal/nn"
+	"after/internal/occlusion"
+	"after/internal/tensor"
+)
+
+// Episode names one training trajectory: follow target through room.
+type Episode struct {
+	Room   *dataset.Room
+	Target int
+}
+
+// TrainStats summarizes a training run.
+type TrainStats struct {
+	// Losses holds the mean per-step POSHGNN loss after each epoch.
+	Losses []float64
+	// Steps is the total number of optimizer updates performed.
+	Steps int
+}
+
+// Train fits the model on the given episodes with truncated BPTT and Adam
+// (lr from Config, Sec. V-A5). It returns per-epoch mean losses; callers
+// can verify the loss decreases.
+func (m *POSHGNN) Train(episodes []Episode) (TrainStats, error) {
+	if len(episodes) == 0 {
+		return TrainStats{}, fmt.Errorf("core: no training episodes")
+	}
+	for _, ep := range episodes {
+		if ep.Target < 0 || ep.Target >= ep.Room.N {
+			return TrainStats{}, fmt.Errorf("core: episode target %d out of range", ep.Target)
+		}
+	}
+	opt := nn.NewAdam(m.params, m.cfg.LR)
+	opt.ClipNorm = 5
+	rng := rand.New(rand.NewSource(m.cfg.Seed + 1))
+	var stats TrainStats
+
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		totalLoss, totalSteps := 0.0, 0
+		order := rng.Perm(len(episodes))
+		for _, idx := range order {
+			ep := episodes[idx]
+			dog := occlusion.BuildDOG(ep.Target, ep.Room.Traj, ep.Room.AvatarRadius)
+			loss, steps, err := m.trainEpisode(ep.Room, dog, opt)
+			if err != nil {
+				return stats, err
+			}
+			totalLoss += loss
+			totalSteps += steps
+			stats.Steps += (steps + m.cfg.BPTTWindow - 1) / m.cfg.BPTTWindow
+		}
+		stats.Losses = append(stats.Losses, totalLoss/float64(totalSteps))
+	}
+	return stats, nil
+}
+
+// trainEpisode runs one full trajectory, applying an optimizer update at the
+// end of every BPTT window and detaching the recurrent state between
+// windows. It returns the summed per-step loss and the step count.
+func (m *POSHGNN) trainEpisode(room *dataset.Room, dog *occlusion.DOG, opt *nn.Adam) (float64, int, error) {
+	var (
+		prevFrame *occlusion.StaticGraph
+		prevR     *tensor.Tensor
+		prevH     *tensor.Tensor
+		window    []*tensor.Tensor
+		total     float64
+	)
+	flush := func() error {
+		if len(window) == 0 {
+			return nil
+		}
+		loss := window[0]
+		for _, l := range window[1:] {
+			loss = tensor.Add(loss, l)
+		}
+		loss = tensor.Scale(loss, 1/float64(len(window)))
+		if loss.Value.HasNaN() {
+			return fmt.Errorf("core: NaN loss during training")
+		}
+		m.params.ZeroGrad()
+		tensor.Backward(loss)
+		opt.Step()
+		window = window[:0]
+		return nil
+	}
+	steps := len(dog.Frames)
+	for t := 0; t < steps; t++ {
+		frame := dog.Frames[t]
+		out := m.forward(room, frame, prevFrame, prevR, prevH)
+		l := m.stepLoss(out, prevR)
+		total += l.Value.Data[0]
+		window = append(window, l)
+		// Recurrent state flows within the window; it is detached at window
+		// boundaries (truncated BPTT).
+		prevFrame = frame
+		prevR = out.r
+		prevH = out.h
+		if len(window) >= m.cfg.BPTTWindow {
+			if err := flush(); err != nil {
+				return total, t + 1, err
+			}
+			prevR = tensor.Detach(prevR)
+			prevH = tensor.Detach(prevH)
+		}
+	}
+	if err := flush(); err != nil {
+		return total, steps, err
+	}
+	return total, steps, nil
+}
+
+// EpisodeLoss evaluates the mean per-step POSHGNN loss on an episode without
+// updating weights; used to report held-out loss.
+func (m *POSHGNN) EpisodeLoss(room *dataset.Room, target int) float64 {
+	dog := occlusion.BuildDOG(target, room.Traj, room.AvatarRadius)
+	var (
+		prevFrame *occlusion.StaticGraph
+		prevR     *tensor.Tensor
+		prevH     *tensor.Tensor
+		total     float64
+	)
+	for _, frame := range dog.Frames {
+		out := m.forward(room, frame, prevFrame, prevR, prevH)
+		total += m.stepLoss(out, prevR).Value.Data[0]
+		prevFrame = frame
+		prevR = tensor.Detach(out.r)
+		prevH = tensor.Detach(out.h)
+	}
+	return total / float64(len(dog.Frames))
+}

@@ -1,0 +1,224 @@
+// Package crowd simulates pedestrian-style trajectories inside a rectangular
+// social XR room. It stands in for the RVO2 library the paper uses to
+// synthesize crowd movement for the Timik and SMM datasets (Sec. V-A1):
+// agents steer toward waypoints at bounded speed while reciprocally avoiding
+// each other, producing the smooth, collision-poor motion whose occlusion
+// dynamics the experiments depend on.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"after/internal/geom"
+)
+
+// Rect is an axis-aligned rectangular room.
+type Rect struct {
+	Min, Max geom.Vec2
+}
+
+// Contains reports whether p lies inside the rectangle (inclusive).
+func (r Rect) Contains(p geom.Vec2) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Z >= r.Min.Z && p.Z <= r.Max.Z
+}
+
+// Clamp projects p onto the rectangle.
+func (r Rect) Clamp(p geom.Vec2) geom.Vec2 {
+	return geom.Vec2{
+		X: geom.Clamp(p.X, r.Min.X, r.Max.X),
+		Z: geom.Clamp(p.Z, r.Min.Z, r.Max.Z),
+	}
+}
+
+// Sample returns a uniform random point inside the rectangle.
+func (r Rect) Sample(rng *rand.Rand) geom.Vec2 {
+	return geom.Vec2{
+		X: r.Min.X + rng.Float64()*(r.Max.X-r.Min.X),
+		Z: r.Min.Z + rng.Float64()*(r.Max.Z-r.Min.Z),
+	}
+}
+
+// Agent is one walker in the crowd.
+type Agent struct {
+	Pos      geom.Vec2
+	Goal     geom.Vec2
+	MaxSpeed float64
+	Radius   float64
+}
+
+// Config tunes the simulator; zero values fall back to sensible defaults.
+type Config struct {
+	// NeighborDist is the radius within which other agents exert avoidance
+	// forces (default 1.5 m).
+	NeighborDist float64
+	// GoalTolerance is how close an agent must get before it draws a fresh
+	// waypoint (default 0.3 m).
+	GoalTolerance float64
+	// AvoidStrength scales the repulsive force (default 1.2).
+	AvoidStrength float64
+	// Stationary, when true, freezes all agents in place: the Hubs-style
+	// workshop rooms have users milling around a fixed spot.
+	Stationary bool
+	// Anchors, when non-nil (one per agent), biases each agent's spawn
+	// point and waypoints toward its anchor: social groups gather in the
+	// same corner of the room instead of wandering uniformly. Sampled
+	// positions are clamped to the room.
+	Anchors []geom.Vec2
+	// AnchorStd is the standard deviation (metres) of the waypoint scatter
+	// around an agent's anchor (default 1.5).
+	AnchorStd float64
+}
+
+func (c *Config) defaults() {
+	if c.NeighborDist == 0 {
+		c.NeighborDist = 1.5
+	}
+	if c.GoalTolerance == 0 {
+		c.GoalTolerance = 0.3
+	}
+	if c.AvoidStrength == 0 {
+		c.AvoidStrength = 1.2
+	}
+	if c.AnchorStd == 0 {
+		c.AnchorStd = 1.5
+	}
+}
+
+// Simulator advances a crowd of agents through a room.
+type Simulator struct {
+	Room   Rect
+	Agents []Agent
+	cfg    Config
+	rng    *rand.Rand
+}
+
+// NewSimulator places n agents uniformly at random in room with random
+// initial waypoints. All randomness flows from seed, so runs are
+// reproducible.
+func NewSimulator(room Rect, n int, seed int64, cfg Config) *Simulator {
+	if n <= 0 {
+		panic(fmt.Sprintf("crowd: non-positive agent count %d", n))
+	}
+	if cfg.Anchors != nil && len(cfg.Anchors) != n {
+		panic(fmt.Sprintf("crowd: %d anchors for %d agents", len(cfg.Anchors), n))
+	}
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	s := &Simulator{Room: room, cfg: cfg, rng: rng}
+	s.Agents = make([]Agent, n)
+	for i := range s.Agents {
+		s.Agents[i] = Agent{
+			Pos:      s.sampleGoal(i),
+			Goal:     s.sampleGoal(i),
+			MaxSpeed: 0.8 + rng.Float64()*0.6, // 0.8–1.4 m/s walking speeds
+			Radius:   0.25,
+		}
+	}
+	return s
+}
+
+// sampleGoal draws a waypoint for agent i: near its anchor when anchors are
+// configured, uniform in the room otherwise.
+func (s *Simulator) sampleGoal(i int) geom.Vec2 {
+	if s.cfg.Anchors == nil {
+		return s.Room.Sample(s.rng)
+	}
+	a := s.cfg.Anchors[i]
+	p := geom.Vec2{
+		X: a.X + s.rng.NormFloat64()*s.cfg.AnchorStd,
+		Z: a.Z + s.rng.NormFloat64()*s.cfg.AnchorStd,
+	}
+	return s.Room.Clamp(p)
+}
+
+// Step advances the simulation by dt seconds.
+func (s *Simulator) Step(dt float64) {
+	n := len(s.Agents)
+	vels := make([]geom.Vec2, n)
+	for i := range s.Agents {
+		a := &s.Agents[i]
+		if s.cfg.Stationary {
+			continue
+		}
+		// Fresh waypoint when near the goal.
+		if a.Pos.Dist(a.Goal) < s.cfg.GoalTolerance {
+			a.Goal = s.sampleGoal(i)
+		}
+		desired := a.Goal.Sub(a.Pos).Normalize().Scale(a.MaxSpeed)
+		// Reciprocal avoidance: each nearby pair pushes apart along the
+		// separation axis, plus a small tangential bias so head-on agents
+		// sidestep the same way (both bias to their left), which is the
+		// essential reciprocity trick of RVO.
+		avoid := geom.Vec2{}
+		for j := range s.Agents {
+			if j == i {
+				continue
+			}
+			b := &s.Agents[j]
+			d := a.Pos.Sub(b.Pos)
+			dist := d.Len()
+			if dist >= s.cfg.NeighborDist || dist == 0 {
+				continue
+			}
+			// Force grows as agents approach contact distance.
+			contact := a.Radius + b.Radius
+			w := (s.cfg.NeighborDist - dist) / (s.cfg.NeighborDist - contact + 1e-9)
+			w = geom.Clamp(w, 0, 4)
+			dir := d.Scale(1 / dist)
+			avoid = avoid.Add(dir.Scale(w * s.cfg.AvoidStrength))
+			avoid = avoid.Add(dir.Perp().Scale(0.3 * w * s.cfg.AvoidStrength))
+		}
+		v := desired.Add(avoid)
+		if l := v.Len(); l > a.MaxSpeed {
+			v = v.Scale(a.MaxSpeed / l)
+		}
+		vels[i] = v
+	}
+	for i := range s.Agents {
+		a := &s.Agents[i]
+		a.Pos = s.Room.Clamp(a.Pos.Add(vels[i].Scale(dt)))
+	}
+}
+
+// Trajectories stores the recorded positions: Pos[t][i] is agent i's
+// location at time step t. It is the τ of Definition 3 (flat world).
+type Trajectories struct {
+	Pos [][]geom.Vec2
+}
+
+// Steps returns the number of recorded time steps (T+1 including t=0).
+func (tr *Trajectories) Steps() int { return len(tr.Pos) }
+
+// Agents returns the agent count.
+func (tr *Trajectories) Agents() int {
+	if len(tr.Pos) == 0 {
+		return 0
+	}
+	return len(tr.Pos[0])
+}
+
+// At returns agent i's position at step t.
+func (tr *Trajectories) At(t, i int) geom.Vec2 { return tr.Pos[t][i] }
+
+// Run records T+1 snapshots (t = 0..T) advancing by dt seconds per step and
+// returns the trajectories.
+func (s *Simulator) Run(T int, dt float64) *Trajectories {
+	if T < 0 {
+		panic("crowd: negative horizon")
+	}
+	tr := &Trajectories{Pos: make([][]geom.Vec2, 0, T+1)}
+	record := func() {
+		snap := make([]geom.Vec2, len(s.Agents))
+		for i, a := range s.Agents {
+			snap[i] = a.Pos
+		}
+		tr.Pos = append(tr.Pos, snap)
+	}
+	record()
+	for t := 0; t < T; t++ {
+		s.Step(dt)
+		record()
+	}
+	return tr
+}

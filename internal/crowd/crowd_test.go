@@ -1,0 +1,164 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"after/internal/geom"
+)
+
+func room10() Rect {
+	return Rect{Min: geom.Vec2{X: 0, Z: 0}, Max: geom.Vec2{X: 10, Z: 10}}
+}
+
+func TestRectContainsClamp(t *testing.T) {
+	r := room10()
+	if !r.Contains(geom.Vec2{X: 5, Z: 5}) {
+		t.Error("center not contained")
+	}
+	if r.Contains(geom.Vec2{X: -1, Z: 5}) {
+		t.Error("outside point contained")
+	}
+	c := r.Clamp(geom.Vec2{X: -3, Z: 12})
+	if c != (geom.Vec2{X: 0, Z: 10}) {
+		t.Errorf("Clamp = %v", c)
+	}
+}
+
+func TestAgentsStayInRoom(t *testing.T) {
+	s := NewSimulator(room10(), 50, 1, Config{})
+	tr := s.Run(200, 0.1)
+	for ti, snap := range tr.Pos {
+		for i, p := range snap {
+			if !room10().Contains(p) {
+				t.Fatalf("agent %d escaped at t=%d: %v", i, ti, p)
+			}
+			if math.IsNaN(p.X) || math.IsNaN(p.Z) {
+				t.Fatalf("NaN position for agent %d at t=%d", i, ti)
+			}
+		}
+	}
+}
+
+func TestTrajectoryShape(t *testing.T) {
+	s := NewSimulator(room10(), 7, 2, Config{})
+	tr := s.Run(30, 0.1)
+	if tr.Steps() != 31 {
+		t.Errorf("Steps = %d, want 31", tr.Steps())
+	}
+	if tr.Agents() != 7 {
+		t.Errorf("Agents = %d", tr.Agents())
+	}
+	if tr.At(0, 0) != tr.Pos[0][0] {
+		t.Error("At accessor broken")
+	}
+}
+
+func TestDeterminismWithSeed(t *testing.T) {
+	a := NewSimulator(room10(), 20, 42, Config{}).Run(50, 0.1)
+	b := NewSimulator(room10(), 20, 42, Config{}).Run(50, 0.1)
+	for ti := range a.Pos {
+		for i := range a.Pos[ti] {
+			if a.Pos[ti][i] != b.Pos[ti][i] {
+				t.Fatalf("divergence at t=%d agent=%d", ti, i)
+			}
+		}
+	}
+	c := NewSimulator(room10(), 20, 43, Config{}).Run(50, 0.1)
+	same := true
+	for ti := range a.Pos {
+		for i := range a.Pos[ti] {
+			if a.Pos[ti][i] != c.Pos[ti][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical trajectories")
+	}
+}
+
+func TestStationaryFreezes(t *testing.T) {
+	s := NewSimulator(room10(), 10, 3, Config{Stationary: true})
+	tr := s.Run(20, 0.1)
+	for i := 0; i < 10; i++ {
+		if tr.At(0, i) != tr.At(20, i) {
+			t.Fatalf("stationary agent %d moved", i)
+		}
+	}
+}
+
+func TestLoneAgentReachesGoal(t *testing.T) {
+	s := NewSimulator(room10(), 1, 4, Config{})
+	s.Agents[0].Pos = geom.Vec2{X: 1, Z: 1}
+	s.Agents[0].Goal = geom.Vec2{X: 9, Z: 9}
+	start := s.Agents[0].Pos.Dist(s.Agents[0].Goal)
+	goal := s.Agents[0].Goal
+	for i := 0; i < 50; i++ {
+		s.Step(0.1)
+	}
+	// Either it reached (goal has been re-sampled) or it got much closer.
+	if s.Agents[0].Goal == goal {
+		end := s.Agents[0].Pos.Dist(goal)
+		if end > start*0.6 {
+			t.Errorf("agent barely moved toward goal: %v -> %v", start, end)
+		}
+	}
+}
+
+func TestAvoidancePreventsDeepOverlap(t *testing.T) {
+	// Two agents walking head-on must not pass through each other's cores.
+	s := NewSimulator(room10(), 2, 5, Config{})
+	s.Agents[0].Pos = geom.Vec2{X: 2, Z: 5}
+	s.Agents[0].Goal = geom.Vec2{X: 8, Z: 5}
+	s.Agents[1].Pos = geom.Vec2{X: 8, Z: 5}
+	s.Agents[1].Goal = geom.Vec2{X: 2, Z: 5}
+	minDist := math.Inf(1)
+	for i := 0; i < 80; i++ {
+		s.Step(0.05)
+		if d := s.Agents[0].Pos.Dist(s.Agents[1].Pos); d < minDist {
+			minDist = d
+		}
+	}
+	// Radii are 0.25 each; deep interpenetration would drop well below 0.2.
+	if minDist < 0.2 {
+		t.Errorf("agents interpenetrated: min distance %v", minDist)
+	}
+}
+
+func TestSpeedBounded(t *testing.T) {
+	s := NewSimulator(room10(), 30, 6, Config{})
+	prev := make([]geom.Vec2, 30)
+	for i, a := range s.Agents {
+		prev[i] = a.Pos
+	}
+	dt := 0.1
+	for step := 0; step < 100; step++ {
+		s.Step(dt)
+		for i, a := range s.Agents {
+			d := a.Pos.Dist(prev[i])
+			if d > s.Agents[i].MaxSpeed*dt+1e-9 {
+				t.Fatalf("agent %d moved %v > max %v", i, d, s.Agents[i].MaxSpeed*dt)
+			}
+			prev[i] = a.Pos
+		}
+	}
+}
+
+func TestZeroAgentsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSimulator(room10(), 0, 1, Config{})
+}
+
+func TestNegativeHorizonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSimulator(room10(), 1, 1, Config{}).Run(-1, 0.1)
+}

@@ -1,0 +1,13 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"after/internal/socialgraph"
+)
+
+// generatePlatformForTest exposes the platform generator to tests with a
+// fixed rng derived from the config seed.
+func generatePlatformForTest(cfg Config) (*socialgraph.Graph, [][]float64) {
+	return generatePlatform(cfg, rand.New(rand.NewSource(cfg.Seed)))
+}

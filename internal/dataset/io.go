@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"after/internal/crowd"
+	"after/internal/geom"
+	"after/internal/occlusion"
+	"after/internal/socialgraph"
+)
+
+// diskEdge is one serialized social tie.
+type diskEdge struct {
+	U, V int
+	W    float64
+}
+
+// diskRoom is the gob-codable mirror of Room: the graph is flattened to an
+// edge list and trajectories to plain coordinate slices.
+type diskRoom struct {
+	Name         string
+	N            int
+	Edges        []diskEdge
+	Interests    [][]float64
+	Interfaces   []occlusion.Interface
+	Positions    [][]geom.Vec2
+	P, S         []float64
+	AvatarRadius float64
+}
+
+// Encode serializes the room with encoding/gob.
+func (r *Room) Encode(w io.Writer) error {
+	d := diskRoom{
+		Name:         r.Name,
+		N:            r.N,
+		Interests:    r.Interests,
+		Interfaces:   r.Interfaces,
+		Positions:    r.Traj.Pos,
+		P:            r.P,
+		S:            r.S,
+		AvatarRadius: r.AvatarRadius,
+	}
+	for u := 0; u < r.N; u++ {
+		for _, v := range r.Graph.Neighbors(u) {
+			if v > u {
+				d.Edges = append(d.Edges, diskEdge{U: u, V: v, W: r.Graph.Weight(u, v)})
+			}
+		}
+	}
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// ReadRoom deserializes a room written by Encode and validates it.
+func ReadRoom(rd io.Reader) (*Room, error) {
+	var d diskRoom
+	if err := gob.NewDecoder(rd).Decode(&d); err != nil {
+		return nil, fmt.Errorf("dataset: decode room: %w", err)
+	}
+	g := socialgraph.New(d.N)
+	for _, e := range d.Edges {
+		g.AddEdge(e.U, e.V, e.W)
+	}
+	r := &Room{
+		Name:         d.Name,
+		N:            d.N,
+		Graph:        g,
+		Interests:    d.Interests,
+		Interfaces:   d.Interfaces,
+		Traj:         &crowd.Trajectories{Pos: d.Positions},
+		P:            d.P,
+		S:            d.S,
+		AvatarRadius: d.AvatarRadius,
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Save writes the room to path.
+func (r *Room) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a room from path.
+func Load(path string) (*Room, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRoom(f)
+}

@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"after/internal/socialgraph"
+)
+
+// interestDim is the dimensionality of user interest vectors; eight topical
+// axes is enough to create the community-correlated preferences the
+// experiments rely on.
+const interestDim = 8
+
+// communities is the number of latent interest communities on the platform.
+const communities = 12
+
+// generatePlatform builds the platform-scale social graph and interest
+// vectors for cfg.Kind:
+//
+//   - a Barabási–Albert preferential-attachment process reproduces the
+//     heavy-tailed degree distribution of both Timik and SMMnet;
+//   - each user belongs to a latent community whose centroid seeds her
+//     interest vector, giving the homophily structure preference scoring
+//     needs;
+//   - extra triadic-closure edges raise clustering to social-network levels;
+//   - SMM edges carry heavy-tailed interaction counts (likes/plays), Timik
+//     and Hubs edges are mutual-friendship ties of unit-ish weight.
+func generatePlatform(cfg Config, rng *rand.Rand) (*socialgraph.Graph, [][]float64) {
+	n := cfg.PlatformUsers
+	g := socialgraph.New(n)
+
+	// Community centroids on the unit sphere.
+	centroids := make([][]float64, communities)
+	for c := range centroids {
+		centroids[c] = randUnit(rng, interestDim)
+	}
+	community := make([]int, n)
+	interests := make([][]float64, n)
+	for i := range interests {
+		community[i] = rng.Intn(communities)
+		v := make([]float64, interestDim)
+		for d := 0; d < interestDim; d++ {
+			v[d] = centroids[community[i]][d] + 0.35*rng.NormFloat64()
+		}
+		interests[i] = v
+	}
+
+	m := attachment(cfg.Kind)
+	// Preferential attachment with a community bias: a newcomer connects to
+	// m targets sampled ∝ degree, re-rolled toward same-community users.
+	targets := make([]int, 0, 2*n*m) // repeated-node list ∝ degree
+	for v := 0; v < n; v++ {
+		made := 0
+		seen := map[int]bool{}
+		for attempt := 0; made < m && attempt < 10*m; attempt++ {
+			var u int
+			if v <= m || len(targets) == 0 {
+				if v == 0 {
+					break
+				}
+				u = rng.Intn(v)
+			} else {
+				u = targets[rng.Intn(len(targets))]
+			}
+			if u == v || seen[u] {
+				continue
+			}
+			// Homophily: cross-community edges survive with prob 0.35.
+			if community[u] != community[v] && rng.Float64() > 0.35 {
+				continue
+			}
+			seen[u] = true
+			g.AddEdge(u, v, edgeWeight(cfg.Kind, rng))
+			targets = append(targets, u, v)
+			made++
+		}
+	}
+
+	// Triadic closure: close a sample of open wedges to push clustering up.
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		if len(nbrs) < 2 {
+			continue
+		}
+		a := nbrs[rng.Intn(len(nbrs))]
+		b := nbrs[rng.Intn(len(nbrs))]
+		if a != b && !g.HasEdge(a, b) && rng.Float64() < 0.4 {
+			g.AddEdge(a, b, edgeWeight(cfg.Kind, rng))
+		}
+	}
+	return g, interests
+}
+
+// attachment returns the preferential-attachment degree parameter per kind.
+func attachment(k Kind) int {
+	switch k {
+	case SMM:
+		return 5
+	case Hubs:
+		return 4
+	default: // Timik
+		return 6
+	}
+}
+
+// edgeWeight draws an edge weight: SMM interaction counts are heavy-tailed
+// (Pareto-ish), friendship ties are near-unit.
+func edgeWeight(k Kind, rng *rand.Rand) float64 {
+	if k == SMM {
+		// Pareto(α=1.5) capped: most ties are weak, a few are very strong.
+		w := math.Pow(1-rng.Float64(), -1/1.5)
+		return math.Min(w, 50)
+	}
+	return 0.5 + rng.Float64()
+}
+
+// randUnit samples a uniform direction on the (dim-1)-sphere.
+func randUnit(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	norm := 0.0
+	for d := range v {
+		v[d] = rng.NormFloat64()
+		norm += v[d] * v[d]
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		v[0] = 1
+		return v
+	}
+	for d := range v {
+		v[d] /= norm
+	}
+	return v
+}
+
+// sampleRoomUsers picks n attendees via a social snowball: a random seed
+// user plus breadth-first expansion with random restarts. Conference rooms
+// are socially clustered — friends attend together — which is exactly what
+// gives the social-presence term something to optimize.
+func sampleRoomUsers(g *socialgraph.Graph, n int, rng *rand.Rand) []int {
+	picked := make([]bool, g.N())
+	var out []int
+	var frontier []int
+	add := func(u int) {
+		if !picked[u] {
+			picked[u] = true
+			out = append(out, u)
+			frontier = append(frontier, u)
+		}
+	}
+	add(rng.Intn(g.N()))
+	for len(out) < n {
+		if len(frontier) == 0 {
+			// Restart from a fresh random user (disconnected platform or
+			// exhausted component).
+			u := rng.Intn(g.N())
+			for picked[u] {
+				u = (u + 1) % g.N()
+			}
+			add(u)
+			continue
+		}
+		u := frontier[0]
+		frontier = frontier[1:]
+		for _, v := range g.Neighbors(u) {
+			if len(out) >= n {
+				break
+			}
+			// Snowball with 70 % acceptance keeps some randomness.
+			if !picked[v] && rng.Float64() < 0.7 {
+				add(v)
+			}
+		}
+	}
+	return out[:n]
+}

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick returns CI-scale options: small rooms, short horizons, single
+// training configuration.
+func quick() Options { return Options{Scale: 0.25, Quick: true, Seed: 1} }
+
+func TestTable4QuickShape(t *testing.T) {
+	tab, err := Table4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, m := range methodOrder {
+		if tab.Row(m) == nil {
+			t.Fatalf("missing method %s", m)
+		}
+	}
+	if tab.Row("POSHGNN").Utility <= 0 {
+		t.Error("POSHGNN earned no utility")
+	}
+	// (The COMURNet-is-slower property only emerges at realistic room
+	// sizes; the full-scale check lives in the benchmark suite.)
+	out := tab.Format()
+	for _, want := range []string{"Table IV", "AFTER Utility", "POSHGNN", "Running Time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+}
+
+func TestTable5QuickAblation(t *testing.T) {
+	tab, err := Table5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Full", "PDR w/ MIA", "Only PDR"}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, m := range want {
+		if tab.Row(m) == nil {
+			t.Fatalf("missing variant %s", m)
+		}
+		if tab.Row(m).Utility < 0 {
+			t.Errorf("%s negative utility", m)
+		}
+	}
+}
+
+func TestTable7QuickMonotonicity(t *testing.T) {
+	tab, err := Table7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// More remote users → fewer physical blockers → utility should not
+	// collapse; check the 75% row is at least competitive with the 25% row.
+	hi := tab.Rows[0].Utility
+	lo := tab.Rows[2].Utility
+	if hi <= 0 || lo < 0 {
+		t.Fatalf("degenerate utilities: %v vs %v", hi, lo)
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	o := Options{Scale: 0.5}.withDefaults()
+	if got := o.scaleInt(200, 20); got != 100 {
+		t.Errorf("scaleInt = %d", got)
+	}
+	if got := o.scaleInt(10, 6); got != 6 {
+		t.Errorf("floor not applied: %d", got)
+	}
+	if (Options{}).withDefaults().Scale != 1 {
+		t.Error("default scale")
+	}
+}
+
+func TestDatasetConfigDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	timik := o.datasetConfig(0)
+	if timik.RoomUsers != 200 || timik.T != 100 {
+		t.Errorf("timik cfg = %+v", timik)
+	}
+	hub := o.datasetConfig(2)
+	if hub.RoomUsers != 30 {
+		t.Errorf("hub cfg = %+v", hub)
+	}
+}
+
+func TestSpecQuickVsFull(t *testing.T) {
+	q := Options{Quick: true}.spec()
+	if len(q.alphas) != 1 || len(q.seeds) != 1 || q.epochs != 3 {
+		t.Errorf("quick spec = %+v", q)
+	}
+	f := Options{}.spec()
+	if len(f.alphas) < 2 || len(f.seeds) < 3 {
+		t.Errorf("full spec = %+v", f)
+	}
+}

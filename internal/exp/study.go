@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"after/internal/baselines"
+	"after/internal/core"
+	"after/internal/dataset"
+	"after/internal/sim"
+	"after/internal/userstudy"
+)
+
+// StudyResult bundles the simulated user study for Fig. 4 and Table VIII.
+type StudyResult struct {
+	Study *userstudy.Study
+}
+
+// studyMethods is the paper's five user-study conditions.
+var studyMethods = []string{"POSHGNN", "GraFrank", "MvAGC", "COMURNet", "Original"}
+
+// RunStudy simulates the 48-participant study (Sec. V-C): one shared
+// conferencing room where every user is also a subject, five display
+// methods, Likert feedback via the calibrated response model.
+func RunStudy(o Options) (*StudyResult, error) {
+	o = o.withDefaults()
+	cfg := dataset.Config{
+		Kind:          dataset.SMM,
+		PlatformUsers: 600,
+		RoomUsers:     userstudy.Participants,
+		T:             o.scaleInt(100, 10),
+		Seed:          4000 + o.Seed,
+	}
+	rooms, err := dataset.GenerateRooms(cfg, 3)
+	if err != nil {
+		return nil, err
+	}
+	trainRooms, valRoom := rooms[:2], rooms[2]
+	studyCfg := cfg
+	studyCfg.Seed += 104729
+	studyRoom, err := dataset.Generate(studyCfg)
+	if err != nil {
+		return nil, err
+	}
+	eps := episodesFrom(trainRooms, 3)
+	posh, err := TrainPOSHGNN(core.Config{UseMIA: true, UseLWP: true}, eps, valRoom, o.spec())
+	if err != nil {
+		return nil, err
+	}
+	methods := []sim.Recommender{
+		POSHGNNRec(posh, "POSHGNN"),
+		&baselines.GraFrank{Seed: o.Seed + 21},
+		baselines.MvAGC{Seed: o.Seed + 22},
+		baselines.COMURNet{Seed: o.Seed + 23, NodeBudget: comurBudget(studyRoom.N)},
+		baselines.RenderAll{},
+	}
+	study, err := userstudy.Run(userstudy.Config{
+		Room: studyRoom,
+		Beta: Beta,
+		Seed: o.Seed + 31,
+	}, methods)
+	if err != nil {
+		return nil, err
+	}
+	return &StudyResult{Study: study}, nil
+}
+
+// FormatFig4 renders the three panels of Fig. 4: per-method mean per-step
+// utility alongside mean Likert feedback for overall satisfaction,
+// preference, and social presence.
+func (s *StudyResult) FormatFig4() string {
+	var b strings.Builder
+	b.WriteString("Fig. 4: Utility and user feedback in the user study\n")
+	panel := func(title string, util func(o userstudy.MethodOutcome) float64, fb func(o userstudy.MethodOutcome) float64) {
+		fmt.Fprintf(&b, "\n[%s]\n", title)
+		fmt.Fprintf(&b, "%-10s %14s %14s\n", "method", "utility/step", "feedback(1-5)")
+		for _, name := range studyMethods {
+			o := s.Study.Outcome(name)
+			if o == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%-10s %14.3f %14.3f\n", name, util(*o), fb(*o))
+		}
+	}
+	panel("overall AFTER utility vs satisfaction",
+		func(o userstudy.MethodOutcome) float64 { return o.Utility },
+		func(o userstudy.MethodOutcome) float64 { return o.Feedback })
+	panel("preference utility vs customization feedback",
+		func(o userstudy.MethodOutcome) float64 { return o.Preference },
+		func(o userstudy.MethodOutcome) float64 { return o.PreferenceFeedback })
+	panel("social presence utility vs company feedback",
+		func(o userstudy.MethodOutcome) float64 { return o.Social },
+		func(o userstudy.MethodOutcome) float64 { return o.SocialFeedback })
+	return b.String()
+}
+
+// FormatTable8 renders the correlation analysis of Table VIII.
+func (s *StudyResult) FormatTable8() string {
+	var b strings.Builder
+	b.WriteString("Table VIII: Correlation analysis of utilities\n")
+	fmt.Fprintf(&b, "%-10s %12s %17s %28s\n", "Corr.", "Preference", "Social Presence", "AFTER util. (satisfaction)")
+	fmt.Fprintf(&b, "%-10s %12.3f %17.3f %28.3f\n", "Pearson",
+		s.Study.PearsonPref, s.Study.PearsonSocial, s.Study.PearsonUtility)
+	fmt.Fprintf(&b, "%-10s %12.3f %17.3f %28.3f\n", "Spearman",
+		s.Study.SpearmanPref, s.Study.SpearmanSocial, s.Study.SpearmanUtility)
+	return b.String()
+}

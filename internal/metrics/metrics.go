@@ -1,0 +1,171 @@
+// Package metrics scores recommendation traces with the paper's evaluation
+// metrics (Sec. V-A4): accumulated AFTER utility (Definition 2) split into
+// its preference and social-presence components, the view occlusion rate,
+// and per-step running time.
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"after/internal/dataset"
+	"after/internal/occlusion"
+)
+
+// Result aggregates one episode (one target user followed for T steps).
+//
+// Preference is Σ_t Σ_w 1[v⇒w at t]·p(v,w) and Social is
+// Σ_t Σ_w 1[v⇒w at t-1]·1[v⇒w at t]·s(v,w); Utility is their β-blend,
+// exactly Definition 2 summed over the horizon. The paper's tables report
+// the three rows separately, with Utility = (1-β)·Preference + β·Social.
+type Result struct {
+	Utility       float64
+	Preference    float64
+	Social        float64
+	OcclusionRate float64       // rendered-but-occluded fraction, 0..1
+	StepTime      time.Duration // mean per-step decision latency
+	RenderedMean  float64       // mean rendered-set size per step
+	// Churn measures recommendation (in)consistency: the mean fraction of
+	// the rendered set that changes between consecutive steps (symmetric
+	// difference over union, 0 = perfectly stable, 1 = complete turnover).
+	// The paper attributes low churn ("consistent recommendations") to LWP.
+	Churn float64
+}
+
+// Score evaluates a rendered-set trace for the DOG's target user. rendered
+// must contain one []bool of length room.N per DOG frame; beta is the
+// social-presence weight β ∈ [0,1].
+func Score(room *dataset.Room, dog *occlusion.DOG, rendered [][]bool, beta float64) (Result, error) {
+	if len(rendered) != len(dog.Frames) {
+		return Result{}, fmt.Errorf("metrics: %d rendered sets for %d frames", len(rendered), len(dog.Frames))
+	}
+	if beta < 0 || beta > 1 {
+		return Result{}, fmt.Errorf("metrics: beta %v out of [0,1]", beta)
+	}
+	target := dog.Target
+	var res Result
+	var renderedTotal, occludedTotal int
+	var churnSum float64
+	var churnSteps int
+	prevVisible := make([]bool, room.N) // 1[v ⇒ w] = 0 for t < 0
+	var prevRendered []bool
+	for t, frame := range dog.Frames {
+		r := rendered[t]
+		if len(r) != room.N {
+			return Result{}, fmt.Errorf("metrics: rendered[%d] has %d entries, want %d", t, len(r), room.N)
+		}
+		visible := frame.VisibleSet(r, room.Interfaces)
+		for w := 0; w < room.N; w++ {
+			if w == target || !r[w] {
+				continue
+			}
+			renderedTotal++
+			// View occlusion rate counts mutual overlap among the rendered
+			// set itself — a strictly occlusion-free recommender therefore
+			// scores exactly 0 % even when physical MR bodies later block
+			// its picks (those only cost utility, via the visibility
+			// indicator below).
+			for _, u := range frame.Neighbors(w) {
+				if r[u] {
+					occludedTotal++
+					break
+				}
+			}
+			if !visible[w] {
+				continue
+			}
+			res.Preference += room.Pref(target, w)
+			if prevVisible[w] {
+				res.Social += room.Social(target, w)
+			}
+		}
+		prevVisible = visible
+		if prevRendered != nil {
+			diff, union := 0, 0
+			for w := 0; w < room.N; w++ {
+				if r[w] || prevRendered[w] {
+					union++
+					if r[w] != prevRendered[w] {
+						diff++
+					}
+				}
+			}
+			if union > 0 {
+				churnSum += float64(diff) / float64(union)
+				churnSteps++
+			}
+		}
+		prevRendered = r
+	}
+	if churnSteps > 0 {
+		res.Churn = churnSum / float64(churnSteps)
+	}
+	res.Utility = (1-beta)*res.Preference + beta*res.Social
+	if renderedTotal > 0 {
+		res.OcclusionRate = float64(occludedTotal) / float64(renderedTotal)
+	}
+	res.RenderedMean = float64(renderedTotal) / float64(len(dog.Frames))
+	return res, nil
+}
+
+// Mean averages a slice of results (e.g. over several target users); step
+// times are averaged too.
+func Mean(rs []Result) Result {
+	if len(rs) == 0 {
+		return Result{}
+	}
+	var out Result
+	for _, r := range rs {
+		out.Utility += r.Utility
+		out.Preference += r.Preference
+		out.Social += r.Social
+		out.OcclusionRate += r.OcclusionRate
+		out.StepTime += r.StepTime
+		out.RenderedMean += r.RenderedMean
+		out.Churn += r.Churn
+	}
+	n := float64(len(rs))
+	out.Utility /= n
+	out.Preference /= n
+	out.Social /= n
+	out.OcclusionRate /= n
+	out.StepTime = time.Duration(float64(out.StepTime) / n)
+	out.RenderedMean /= n
+	out.Churn /= n
+	return out
+}
+
+// StepUtility returns u_t(v,·) summed over the rendered set for a single
+// step given the previous step's visibility — the per-step quantity POSHGNN
+// optimizes. Exposed for tests and for the RL baseline's reward signal.
+func StepUtility(room *dataset.Room, frame *occlusion.StaticGraph, rendered, prevVisible []bool, beta float64) (utility float64, visible []bool) {
+	target := frame.Target
+	visible = frame.VisibleSet(rendered, room.Interfaces)
+	for w := 0; w < room.N; w++ {
+		if w == target || !rendered[w] || !visible[w] {
+			continue
+		}
+		utility += (1 - beta) * room.Pref(target, w)
+		if prevVisible != nil && prevVisible[w] {
+			utility += beta * room.Social(target, w)
+		}
+	}
+	return utility, visible
+}
+
+// StepSeries returns the per-step utility series of a rendering trace — the
+// inputs for paired significance tests between two recommenders on the same
+// scene.
+func StepSeries(room *dataset.Room, dog *occlusion.DOG, rendered [][]bool, beta float64) ([]float64, error) {
+	if len(rendered) != len(dog.Frames) {
+		return nil, fmt.Errorf("metrics: %d rendered sets for %d frames", len(rendered), len(dog.Frames))
+	}
+	series := make([]float64, len(dog.Frames))
+	var prev []bool
+	for t, frame := range dog.Frames {
+		u, vis := StepUtility(room, frame, rendered[t], prev, beta)
+		series[t] = u
+		prev = vis
+	}
+	return series, nil
+}

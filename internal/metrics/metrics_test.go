@@ -1,0 +1,270 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"after/internal/crowd"
+	"after/internal/dataset"
+	"after/internal/geom"
+	"after/internal/occlusion"
+	"after/internal/socialgraph"
+)
+
+// staticRoom builds a 4-user room frozen for steps+1 frames: target 0 at the
+// origin, user 1 at (2,0), user 2 at (4,0) occluded behind 1, user 3 at
+// (0,3) in the clear. p(0,w) and s(0,w) are hand-set.
+func staticRoom(steps int) (*dataset.Room, *occlusion.DOG) {
+	positions := []geom.Vec2{{X: 0, Z: 0}, {X: 2, Z: 0}, {X: 4, Z: 0}, {X: 0, Z: 3}}
+	pos := make([][]geom.Vec2, steps+1)
+	for t := range pos {
+		pos[t] = positions
+	}
+	n := 4
+	p := make([]float64, n*n)
+	s := make([]float64, n*n)
+	p[0*n+1], p[0*n+2], p[0*n+3] = 0.8, 0.6, 0.4
+	s[0*n+1], s[0*n+2], s[0*n+3] = 0.1, 0.2, 1.0
+	room := &dataset.Room{
+		Name:         "test",
+		N:            n,
+		Graph:        socialgraph.New(n),
+		Interfaces:   make([]occlusion.Interface, n),
+		Traj:         &crowd.Trajectories{Pos: pos},
+		P:            p,
+		S:            s,
+		AvatarRadius: occlusion.DefaultAvatarRadius,
+	}
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	return room, dog
+}
+
+func renderAll(n, steps int) [][]bool {
+	out := make([][]bool, steps+1)
+	for t := range out {
+		r := make([]bool, n)
+		for w := 1; w < n; w++ {
+			r[w] = true
+		}
+		out[t] = r
+	}
+	return out
+}
+
+func TestScoreRenderAll(t *testing.T) {
+	steps := 2
+	room, dog := staticRoom(steps)
+	res, err := Score(room, dog, renderAll(4, steps), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Visible each step: only 3 (users 1 and 2 overlap each other, so both
+	// are unclear). Preference per step: 0.4 over 3 frames = 1.2.
+	if math.Abs(res.Preference-1.2) > 1e-12 {
+		t.Errorf("Preference = %v, want 1.2", res.Preference)
+	}
+	// Social needs consecutive visibility: frames 1 and 2 only (t=0 has no
+	// predecessor): 1.0 × 2 = 2.0.
+	if math.Abs(res.Social-2.0) > 1e-12 {
+		t.Errorf("Social = %v, want 2.0", res.Social)
+	}
+	if math.Abs(res.Utility-(0.5*1.2+0.5*2.0)) > 1e-12 {
+		t.Errorf("Utility = %v", res.Utility)
+	}
+	// Occlusion rate counts mutual rendered-rendered overlap: users 1 and 2
+	// overlap each other → 2 of 3 rendered are occluded.
+	if math.Abs(res.OcclusionRate-2.0/3.0) > 1e-12 {
+		t.Errorf("OcclusionRate = %v", res.OcclusionRate)
+	}
+	if math.Abs(res.RenderedMean-3) > 1e-12 {
+		t.Errorf("RenderedMean = %v", res.RenderedMean)
+	}
+}
+
+func TestScoreBetaExtremes(t *testing.T) {
+	steps := 2
+	room, dog := staticRoom(steps)
+	rendered := renderAll(4, steps)
+	pOnly, err := Score(room, dog, rendered, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOnly.Utility != pOnly.Preference {
+		t.Error("beta=0 should reduce utility to preference")
+	}
+	sOnly, err := Score(room, dog, rendered, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sOnly.Utility != sOnly.Social {
+		t.Error("beta=1 should reduce utility to social presence")
+	}
+}
+
+func TestScoreHidingBlockerRevealsBack(t *testing.T) {
+	steps := 1
+	room, dog := staticRoom(steps)
+	// Render only users 2 and 3; with 1 hidden, 2 becomes visible.
+	rendered := make([][]bool, steps+1)
+	for t := range rendered {
+		rendered[t] = []bool{false, false, true, true}
+	}
+	res, err := Score(room, dog, rendered, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preference per step: 0.6 + 0.4 = 1.0 × 2 frames.
+	if math.Abs(res.Preference-2.0) > 1e-12 {
+		t.Errorf("Preference = %v", res.Preference)
+	}
+	if res.OcclusionRate != 0 {
+		t.Errorf("OcclusionRate = %v", res.OcclusionRate)
+	}
+}
+
+func TestScoreFlickerKillsSocial(t *testing.T) {
+	steps := 3
+	room, dog := staticRoom(steps)
+	// Alternate rendering user 3: visible at t=0,2 only → no consecutive
+	// pairs → zero social despite s=1.
+	rendered := make([][]bool, steps+1)
+	for ti := range rendered {
+		rendered[ti] = []bool{false, false, false, ti%2 == 0}
+	}
+	res, err := Score(room, dog, rendered, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Social != 0 {
+		t.Errorf("flickering rendering earned social %v", res.Social)
+	}
+	if math.Abs(res.Preference-0.8) > 1e-12 { // 0.4 × 2 frames
+		t.Errorf("Preference = %v", res.Preference)
+	}
+}
+
+func TestScoreEmptyRendering(t *testing.T) {
+	steps := 2
+	room, dog := staticRoom(steps)
+	rendered := make([][]bool, steps+1)
+	for ti := range rendered {
+		rendered[ti] = make([]bool, 4)
+	}
+	res, err := Score(room, dog, rendered, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility != 0 || res.OcclusionRate != 0 || res.RenderedMean != 0 {
+		t.Errorf("empty rendering scored %+v", res)
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	room, dog := staticRoom(2)
+	if _, err := Score(room, dog, renderAll(4, 1), 0.5); err == nil {
+		t.Error("frame count mismatch accepted")
+	}
+	bad := renderAll(4, 2)
+	bad[1] = []bool{true}
+	if _, err := Score(room, dog, bad, 0.5); err == nil {
+		t.Error("wrong-length rendered set accepted")
+	}
+	if _, err := Score(room, dog, renderAll(4, 2), 1.5); err == nil {
+		t.Error("beta out of range accepted")
+	}
+}
+
+func TestMeanAverages(t *testing.T) {
+	rs := []Result{
+		{Utility: 2, Preference: 4, Social: 0, OcclusionRate: 0.2, StepTime: 2 * time.Millisecond, RenderedMean: 3},
+		{Utility: 4, Preference: 0, Social: 8, OcclusionRate: 0.4, StepTime: 4 * time.Millisecond, RenderedMean: 5},
+	}
+	m := Mean(rs)
+	if m.Utility != 3 || m.Preference != 2 || m.Social != 4 {
+		t.Errorf("Mean = %+v", m)
+	}
+	if math.Abs(m.OcclusionRate-0.3) > 1e-12 {
+		t.Errorf("OcclusionRate = %v", m.OcclusionRate)
+	}
+	if m.StepTime != 3*time.Millisecond {
+		t.Errorf("StepTime = %v", m.StepTime)
+	}
+	if m.RenderedMean != 4 {
+		t.Errorf("RenderedMean = %v", m.RenderedMean)
+	}
+	if (Mean(nil) != Result{}) {
+		t.Error("Mean(nil) not zero")
+	}
+}
+
+func TestStepUtilityMatchesScore(t *testing.T) {
+	steps := 3
+	room, dog := staticRoom(steps)
+	rendered := renderAll(4, steps)
+	res, err := Score(room, dog, rendered, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	var prev []bool
+	for ti, frame := range dog.Frames {
+		u, vis := StepUtility(room, frame, rendered[ti], prev, 0.5)
+		total += u
+		prev = vis
+	}
+	if math.Abs(total-res.Utility) > 1e-12 {
+		t.Errorf("step-wise total %v != episode %v", total, res.Utility)
+	}
+}
+
+func TestChurnMetric(t *testing.T) {
+	steps := 3
+	room, dog := staticRoom(steps)
+	// Stable rendering → zero churn.
+	stable := renderAll(4, steps)
+	res, err := Score(room, dog, stable, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Churn != 0 {
+		t.Errorf("stable churn = %v", res.Churn)
+	}
+	// Complete turnover each step → churn 1.
+	flip := make([][]bool, steps+1)
+	for ti := range flip {
+		r := make([]bool, 4)
+		if ti%2 == 0 {
+			r[1] = true
+		} else {
+			r[3] = true
+		}
+		flip[ti] = r
+	}
+	res, err = Score(room, dog, flip, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Churn != 1 {
+		t.Errorf("full-turnover churn = %v", res.Churn)
+	}
+	// Half-overlap: {1,3} -> {1,2}: union 3, diff 2 → 2/3 each step.
+	half := make([][]bool, steps+1)
+	for ti := range half {
+		r := make([]bool, 4)
+		r[1] = true
+		if ti%2 == 0 {
+			r[3] = true
+		} else {
+			r[2] = true
+		}
+		half[ti] = r
+	}
+	res, err = Score(room, dog, half, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Churn-2.0/3.0) > 1e-12 {
+		t.Errorf("half churn = %v", res.Churn)
+	}
+}

@@ -1,0 +1,139 @@
+package mwis
+
+import (
+	"math"
+	"sort"
+
+	"after/internal/geom"
+)
+
+// SolveCircularArc computes an exact maximum-weight independent set for a
+// circular-arc graph in polynomial time. Static occlusion graphs are
+// exactly circular-arc graphs (Sec. III-B), so while MWIS is NP-hard on
+// general geometric intersection graphs (Theorem 1), the single-target
+// single-step instances admit this O(n² log n) exact oracle — used by tests
+// and the optimality-gap benchmarks to measure how close recommenders come
+// to the per-step optimum.
+//
+// arcs[i] is vertex i's view arc and weights[i] its utility; entries with
+// non-positive weight are ignored. Returns the chosen vertices (sorted) and
+// their total weight.
+//
+// The algorithm conditions on the arcs covering a reference angle θ₀: any
+// independent set holds at most one of them (they pairwise overlap at θ₀).
+// Case "none chosen" cuts the circle at θ₀ and solves weighted interval
+// scheduling; case "arc a chosen" removes a and everything overlapping it
+// and solves interval scheduling on the remaining gap.
+func SolveCircularArc(arcs []geom.Arc, weights []float64) ([]int, float64) {
+	n := len(arcs)
+	if len(weights) != n {
+		panic("mwis: SolveCircularArc weight/arc length mismatch")
+	}
+	active := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if weights[i] > 0 {
+			active = append(active, i)
+		}
+	}
+	if len(active) == 0 {
+		return nil, 0
+	}
+
+	// θ₀ = 0. crossing = active arcs containing θ₀ (full arcs always do).
+	var crossing, clear []int
+	for _, i := range active {
+		if arcs[i].Full() || arcs[i].Contains(0) {
+			crossing = append(crossing, i)
+		} else {
+			clear = append(clear, i)
+		}
+	}
+
+	bestSet, bestW := intervalMWIS(arcs, weights, clear, 0, 2*math.Pi)
+
+	for _, a := range crossing {
+		// Choose a: keep clear arcs that do not overlap a, restricted to
+		// the gap the circle leaves outside a.
+		var rest []int
+		for _, i := range clear {
+			if !arcs[i].Overlaps(arcs[a]) {
+				rest = append(rest, i)
+			}
+		}
+		// The gap outside arc a starts at its end and wraps to its start.
+		gapStart := geom.NormalizeAngle(arcs[a].Center + arcs[a].HalfWidth)
+		set, w := intervalMWIS(arcs, weights, rest, gapStart, 2*math.Pi-arcs[a].Width())
+		w += weights[a]
+		if w > bestW {
+			bestW = w
+			bestSet = append(append([]int(nil), set...), a)
+		}
+	}
+	sort.Ints(bestSet)
+	return bestSet, bestW
+}
+
+// intervalMWIS solves weighted interval scheduling for the given candidate
+// arcs, unrolled onto the line starting at cut (every candidate must fit in
+// the window [cut, cut+span] modulo 2π; callers guarantee this). Intervals
+// are closed: touching endpoints conflict, matching Arc.Overlaps.
+func intervalMWIS(arcs []geom.Arc, weights []float64, cands []int, cut, span float64) ([]int, float64) {
+	if len(cands) == 0 {
+		return nil, 0
+	}
+	type iv struct {
+		id   int
+		s, e float64
+	}
+	ivs := make([]iv, 0, len(cands))
+	for _, i := range cands {
+		s := geom.NormalizeAngle(arcs[i].Center - arcs[i].HalfWidth - cut)
+		e := s + arcs[i].Width()
+		ivs = append(ivs, iv{id: i, s: s, e: e})
+	}
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].e < ivs[b].e })
+
+	const tol = 1e-12
+	m := len(ivs)
+	// prev[i] = largest j < i with ivs[j].e < ivs[i].s - tol, else -1.
+	prev := make([]int, m)
+	ends := make([]float64, m)
+	for i := range ivs {
+		ends[i] = ivs[i].e
+	}
+	for i := range ivs {
+		lo, hi := 0, i-1
+		prev[i] = -1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			if ends[mid] < ivs[i].s-tol {
+				prev[i] = mid
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+	}
+	dp := make([]float64, m+1)
+	take := make([]bool, m)
+	for i := 1; i <= m; i++ {
+		skip := dp[i-1]
+		with := weights[ivs[i-1].id] + dp[prev[i-1]+1]
+		if with > skip {
+			dp[i] = with
+			take[i-1] = true
+		} else {
+			dp[i] = skip
+		}
+	}
+	var set []int
+	for i := m; i > 0; {
+		if take[i-1] {
+			set = append(set, ivs[i-1].id)
+			i = prev[i-1] + 1
+		} else {
+			i--
+		}
+	}
+	return set, dp[m]
+}

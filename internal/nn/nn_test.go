@@ -1,0 +1,267 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"after/internal/tensor"
+)
+
+func TestParamsRegistry(t *testing.T) {
+	p := NewParams()
+	a := p.Register("a", tensor.Ones(2, 2))
+	if p.Get("a") != a {
+		t.Error("Get returned different tensor")
+	}
+	if p.Count() != 4 {
+		t.Errorf("Count = %d", p.Count())
+	}
+	p.Register("b", tensor.Ones(1, 3))
+	if got := p.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestParamsDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p := NewParams()
+	p.Register("x", tensor.Ones(1, 1))
+	p.Register("x", tensor.Ones(1, 1))
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewParams()
+	w := p.Register("w", tensor.Randn(rng, 3, 3, 1))
+	snap := p.Snapshot()
+	orig := w.Value.Clone()
+	w.Value.ScaleInPlace(5)
+	if err := p.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Data {
+		if w.Value.Data[i] != orig.Data[i] {
+			t.Fatal("restore did not recover original values")
+		}
+	}
+	// Snapshot must be isolated from later mutation.
+	w.Value.Data[0] = 42
+	if snap["w"].Data[0] == 42 {
+		t.Error("snapshot aliases live parameter")
+	}
+}
+
+func TestRestoreUnknownName(t *testing.T) {
+	p := NewParams()
+	if err := p.Restore(map[string]*tensor.Matrix{"nope": tensor.Ones(1, 1)}); err == nil {
+		t.Error("expected error for unknown parameter")
+	}
+}
+
+func TestLinearForwardShapeAndBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewParams()
+	l := NewLinear(p, rng, "fc", 4, 3)
+	// With zero weights, output equals the bias broadcast.
+	l.W.Value.Zero()
+	for j := 0; j < 3; j++ {
+		l.B.Value.Data[j] = float64(j)
+	}
+	x := tensor.Constant(tensor.Ones(5, 4))
+	y := l.Forward(x)
+	if y.Rows() != 5 || y.Cols() != 3 {
+		t.Fatalf("shape %dx%d", y.Rows(), y.Cols())
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			if y.Value.At(i, j) != float64(j) {
+				t.Fatalf("bias broadcast wrong at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestLinearTrainsToTarget(t *testing.T) {
+	// Fit y = 2x on scalars: a smoke test that Linear+Adam converge.
+	rng := rand.New(rand.NewSource(3))
+	p := NewParams()
+	l := NewLinear(p, rng, "fc", 1, 1)
+	opt := NewAdam(p, 0.05)
+	xs := tensor.Constant(tensor.FromColumn([]float64{-2, -1, 0, 1, 2}))
+	ys := tensor.Constant(tensor.FromColumn([]float64{-4, -2, 0, 2, 4}))
+	var loss float64
+	for i := 0; i < 300; i++ {
+		p.ZeroGrad()
+		diff := tensor.Sub(l.Forward(xs), ys)
+		lt := tensor.Mean(tensor.Mul(diff, diff))
+		loss = lt.Value.Data[0]
+		tensor.Backward(lt)
+		opt.Step()
+	}
+	if loss > 1e-3 {
+		t.Errorf("linear regression did not converge: loss=%v", loss)
+	}
+	if math.Abs(l.W.Value.Data[0]-2) > 0.05 {
+		t.Errorf("learned slope %v, want ~2", l.W.Value.Data[0])
+	}
+}
+
+func TestGraphConvAggregatesNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := NewParams()
+	g := NewGraphConv(p, rng, "gc", 1, 1)
+	// Identity self weight, identity neighbor weight.
+	g.M1.Value.Data[0] = 1
+	g.M2.Value.Data[0] = 1
+	// Path graph 0-1-2.
+	adj := tensor.NewMatrix(3, 3)
+	adj.Set(0, 1, 1)
+	adj.Set(1, 0, 1)
+	adj.Set(1, 2, 1)
+	adj.Set(2, 1, 1)
+	h := tensor.Constant(tensor.FromColumn([]float64{1, 10, 100}))
+	out := g.Forward(h, adj)
+	want := []float64{1 + 10, 10 + 101, 100 + 10}
+	for i, w := range want {
+		if math.Abs(out.Value.Data[i]-w) > 1e-12 {
+			t.Errorf("node %d = %v, want %v", i, out.Value.Data[i], w)
+		}
+	}
+}
+
+func TestGraphConvIsolatedNodeSeesOnlySelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewParams()
+	g := NewGraphConv(p, rng, "gc", 2, 2)
+	adj := tensor.NewMatrix(3, 3) // no edges
+	h := tensor.Constant(tensor.Randn(rng, 3, 2, 1))
+	out := g.Forward(h, adj)
+	ref := tensor.MatMul(h.Value, g.M1.Value)
+	for i := range ref.Data {
+		if math.Abs(out.Value.Data[i]-ref.Data[i]) > 1e-12 {
+			t.Fatal("isolated nodes should reduce to h·M1")
+		}
+	}
+}
+
+func TestGRUCellShapesAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := NewParams()
+	c := NewGRUCell(p, rng, "gru", 3, 4)
+	x := tensor.Constant(tensor.Randn(rng, 5, 3, 1))
+	h := tensor.Constant(tensor.NewMatrix(5, 4))
+	h2 := c.Forward(x, h)
+	if h2.Rows() != 5 || h2.Cols() != 4 {
+		t.Fatalf("shape %dx%d", h2.Rows(), h2.Cols())
+	}
+	for _, v := range h2.Value.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("GRU state %v out of (-1,1) from zero state", v)
+		}
+	}
+}
+
+func TestGRUCellGradientFlowsThroughTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewParams()
+	c := NewGRUCell(p, rng, "gru", 2, 3)
+	x := tensor.Constant(tensor.Randn(rng, 4, 2, 1))
+	h := tensor.Constant(tensor.NewMatrix(4, 3))
+	cur := c.Forward(x, h)
+	for i := 0; i < 3; i++ {
+		cur = c.Forward(x, cur)
+	}
+	tensor.Backward(tensor.Sum(cur))
+	if c.Wz.W.Grad() == nil || c.Wh.W.Grad() == nil || c.Wr.W.Grad() == nil {
+		t.Error("gradients missing after BPTT")
+	}
+}
+
+func TestAdamReducesQuadratic(t *testing.T) {
+	p := NewParams()
+	x := p.Register("x", tensor.FromColumn([]float64{5, -3, 2}))
+	opt := NewAdam(p, 0.1)
+	for i := 0; i < 500; i++ {
+		p.ZeroGrad()
+		loss := tensor.Sum(tensor.Mul(x, x))
+		tensor.Backward(loss)
+		opt.Step()
+	}
+	for _, v := range x.Value.Data {
+		if math.Abs(v) > 1e-2 {
+			t.Errorf("Adam failed to minimize: x=%v", x.Value.Data)
+			break
+		}
+	}
+}
+
+func TestAdamSkipsNilGrad(t *testing.T) {
+	p := NewParams()
+	a := p.Register("a", tensor.Ones(1, 1))
+	b := p.Register("b", tensor.Ones(1, 1))
+	opt := NewAdam(p, 0.1)
+	tensor.Backward(tensor.Sum(tensor.Mul(a, a))) // only a gets a grad
+	opt.Step()
+	if b.Value.Data[0] != 1 {
+		t.Error("parameter without gradient was updated")
+	}
+	if a.Value.Data[0] == 1 {
+		t.Error("parameter with gradient was not updated")
+	}
+}
+
+func TestAdamClipNorm(t *testing.T) {
+	p := NewParams()
+	x := p.Register("x", tensor.FromColumn([]float64{1000}))
+	opt := NewAdam(p, 0.1)
+	opt.ClipNorm = 1
+	tensor.Backward(tensor.Sum(tensor.Mul(x, x)))
+	norm := opt.Step()
+	if norm < 1999 || norm > 2001 {
+		t.Errorf("reported pre-clip norm = %v, want 2000", norm)
+	}
+	// Update magnitude must be bounded by roughly lr regardless of grad size.
+	if d := math.Abs(x.Value.Data[0] - 1000); d > 0.2 {
+		t.Errorf("clipped step moved by %v", d)
+	}
+}
+
+func TestCopyTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	src := NewParams()
+	src.Register("w", tensor.Randn(rng, 2, 2, 1))
+	dst := NewParams()
+	d := dst.Register("w", tensor.NewMatrix(2, 2))
+	if err := src.CopyTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	if d.Value.Data[0] != src.Get("w").Value.Data[0] {
+		t.Error("CopyTo did not copy values")
+	}
+	// Missing name in destination.
+	src.Register("extra", tensor.Ones(1, 1))
+	if err := src.CopyTo(dst); err == nil {
+		t.Error("missing destination parameter not detected")
+	}
+	// Shape mismatch.
+	other := NewParams()
+	other.Register("w", tensor.NewMatrix(1, 1))
+	bad := NewParams()
+	bad.Register("w", tensor.NewMatrix(2, 2))
+	if err := bad.CopyTo(other); err == nil {
+		t.Error("shape mismatch not detected")
+	}
+}
+
+func TestRestoreShapeMismatch(t *testing.T) {
+	p := NewParams()
+	p.Register("w", tensor.NewMatrix(2, 2))
+	if err := p.Restore(map[string]*tensor.Matrix{"w": tensor.NewMatrix(1, 1)}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Package occlusion implements the paper's occlusion machinery (Sec. III-B):
+// the circular-arc occlusion-graph converter, the dynamic occlusion graph
+// (DOG, Definition 4), and the visibility indicator 1[v ⇒ w] that gates the
+// AFTER utility.
+//
+// The flat-world converter places the target user at the centre of her
+// 360-degree view circle; every other user occupies the arc subtended by a
+// disk of the avatar radius at her distance. Two users are connected in the
+// static occlusion graph exactly when their arcs overlap.
+package occlusion
+
+import (
+	"fmt"
+
+	"after/internal/crowd"
+	"after/internal/geom"
+	"after/internal/tensor"
+)
+
+// Interface is the immersiveness level of a user's device (F3 in the
+// paper): VR users join remotely, MR users are physically co-located.
+type Interface uint8
+
+const (
+	// VR marks a remote participant in fully virtual mode.
+	VR Interface = iota
+	// MR marks an in-person participant whose body is physically present
+	// for co-located users.
+	MR
+)
+
+// String implements fmt.Stringer.
+func (i Interface) String() string {
+	if i == MR {
+		return "MR"
+	}
+	return "VR"
+}
+
+// DefaultAvatarRadius is the disk radius (metres) used to convert avatar
+// bodies into view arcs; roughly the shoulder half-width of an adult.
+const DefaultAvatarRadius = 0.25
+
+// StaticGraph is the occlusion graph O_t^v of one time instance for one
+// target user: a circular-arc graph over all other users plus the isolated
+// target node.
+type StaticGraph struct {
+	// N is the total user count, including the target.
+	N int
+	// Target is the index of the target user v (an isolated node).
+	Target int
+	// Arcs[w] is the view arc of user w from the target's position;
+	// Arcs[Target] is the zero Arc and never consulted.
+	Arcs []geom.Arc
+	// Dist[w] is the distance from the target to w; Dist[Target] = 0.
+	Dist []float64
+
+	neighbors [][]int32
+}
+
+// BuildStatic converts a snapshot of user positions into the target user's
+// static occlusion graph. radius is the avatar disk radius.
+func BuildStatic(target int, positions []geom.Vec2, radius float64) *StaticGraph {
+	n := len(positions)
+	if target < 0 || target >= n {
+		panic(fmt.Sprintf("occlusion: target %d out of range [0,%d)", target, n))
+	}
+	if radius <= 0 {
+		panic("occlusion: non-positive avatar radius")
+	}
+	g := &StaticGraph{
+		N:         n,
+		Target:    target,
+		Arcs:      make([]geom.Arc, n),
+		Dist:      make([]float64, n),
+		neighbors: make([][]int32, n),
+	}
+	eye := positions[target]
+	for w := 0; w < n; w++ {
+		if w == target {
+			continue
+		}
+		g.Arcs[w] = geom.ArcOf(eye, positions[w], radius)
+		g.Dist[w] = eye.Dist(positions[w])
+	}
+	for i := 0; i < n; i++ {
+		if i == target {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if j == target {
+				continue
+			}
+			if g.Arcs[i].Overlaps(g.Arcs[j]) {
+				g.neighbors[i] = append(g.neighbors[i], int32(j))
+				g.neighbors[j] = append(g.neighbors[j], int32(i))
+			}
+		}
+	}
+	return g
+}
+
+// Occludes reports whether users i and j overlap in the target's view (the
+// occlusion-graph edge relation). The target never participates in edges.
+func (g *StaticGraph) Occludes(i, j int) bool {
+	if i == g.Target || j == g.Target || i == j {
+		return false
+	}
+	return g.Arcs[i].Overlaps(g.Arcs[j])
+}
+
+// Neighbors returns the occlusion neighbors of w.
+func (g *StaticGraph) Neighbors(w int) []int32 { return g.neighbors[w] }
+
+// EdgeCount returns the number of occlusion edges.
+func (g *StaticGraph) EdgeCount() int {
+	total := 0
+	for _, ns := range g.neighbors {
+		total += len(ns)
+	}
+	return total / 2
+}
+
+// AdjacencyMatrix materializes A_t as a dense 0/1 matrix for the GNNs.
+func (g *StaticGraph) AdjacencyMatrix() *tensor.Matrix {
+	a := tensor.NewMatrix(g.N, g.N)
+	for i, ns := range g.neighbors {
+		for _, j := range ns {
+			a.Set(i, int(j), 1)
+		}
+	}
+	return a
+}
+
+// DOG is the dynamic occlusion graph O^v = (V, E^v, T) of Definition 4: one
+// static occlusion graph per time step, all for the same target user.
+type DOG struct {
+	Target int
+	Frames []*StaticGraph
+}
+
+// T returns the maximal time label (len(Frames)-1).
+func (d *DOG) T() int { return len(d.Frames) - 1 }
+
+// At returns the static occlusion graph at time step t.
+func (d *DOG) At(t int) *StaticGraph { return d.Frames[t] }
+
+// BuildDOG converts a full trajectory trace into the target user's dynamic
+// occlusion graph, one frame per recorded step.
+func BuildDOG(target int, tr *crowd.Trajectories, radius float64) *DOG {
+	d := &DOG{Target: target, Frames: make([]*StaticGraph, tr.Steps())}
+	for t := 0; t < tr.Steps(); t++ {
+		d.Frames[t] = BuildStatic(target, tr.Pos[t], radius)
+	}
+	return d
+}
+
+// PresentSet returns which users exist on the target's viewport given the
+// rendered set: rendered users always, plus — when the target is co-located
+// (MR) — every other MR participant, whose physical body cannot be hidden
+// (the hybrid-participation constraint of Sec. III-A).
+func (g *StaticGraph) PresentSet(rendered []bool, interfaces []Interface) []bool {
+	if len(rendered) != g.N || len(interfaces) != g.N {
+		panic("occlusion: PresentSet length mismatch")
+	}
+	present := make([]bool, g.N)
+	targetMR := interfaces[g.Target] == MR
+	for w := 0; w < g.N; w++ {
+		if w == g.Target {
+			continue
+		}
+		present[w] = rendered[w] || (targetMR && interfaces[w] == MR)
+	}
+	return present
+}
+
+// VisibleSet computes the indicator 1[v ⇒ w] for every user: w is visible
+// exactly when it is rendered, present, and no other present user's image
+// overlaps its own. The relation is symmetric — per Definition 4 an
+// occlusion edge means the two *images* overlap on the viewport, so neither
+// endpoint is seen clearly. This symmetry is what makes maximizing per-step
+// utility exactly MWIS on the occlusion graph (Theorem 1). Physical MR
+// bodies count as force-rendered for co-located targets, so an avatar drawn
+// over (or under) a physical participant is ineffective too.
+func (g *StaticGraph) VisibleSet(rendered []bool, interfaces []Interface) []bool {
+	present := g.PresentSet(rendered, interfaces)
+	visible := make([]bool, g.N)
+	for w := 0; w < g.N; w++ {
+		if w == g.Target || !rendered[w] || !present[w] {
+			continue
+		}
+		visible[w] = true
+		for _, u := range g.neighbors[w] {
+			if present[u] {
+				visible[w] = false
+				break
+			}
+		}
+	}
+	return visible
+}
+
+// PhysicalMask returns MIA's hybrid-participation mask m_t: 0 for the target
+// herself and for users whose image overlaps a co-located MR participant's
+// physical body — rendering them can never be effective for an MR target
+// (the forced physical image destroys the pair's clarity). For VR targets no
+// one is physically present, so only the target is masked.
+func (g *StaticGraph) PhysicalMask(interfaces []Interface) []float64 {
+	if len(interfaces) != g.N {
+		panic("occlusion: PhysicalMask length mismatch")
+	}
+	mask := make([]float64, g.N)
+	targetMR := interfaces[g.Target] == MR
+	for w := 0; w < g.N; w++ {
+		if w == g.Target {
+			continue
+		}
+		mask[w] = 1
+		if !targetMR {
+			continue
+		}
+		for _, u := range g.neighbors[w] {
+			if int(u) != g.Target && interfaces[u] == MR {
+				mask[w] = 0
+				break
+			}
+		}
+	}
+	return mask
+}

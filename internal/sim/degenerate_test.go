@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"after/internal/core"
+	"after/internal/crowd"
+	"after/internal/dataset"
+	"after/internal/geom"
+	"after/internal/occlusion"
+	"after/internal/socialgraph"
+)
+
+// buildRoom assembles a hand-made room for failure-injection tests.
+func buildRoom(n, steps int, interfaces []occlusion.Interface, p, s []float64) *dataset.Room {
+	positions := make([]geom.Vec2, n)
+	for i := range positions {
+		positions[i] = geom.Vec2{X: float64(i), Z: float64(i % 3)}
+	}
+	pos := make([][]geom.Vec2, steps+1)
+	for t := range pos {
+		pos[t] = positions
+	}
+	return &dataset.Room{
+		Name:         "degenerate",
+		N:            n,
+		Graph:        socialgraph.New(n),
+		Interfaces:   interfaces,
+		Traj:         &crowd.Trajectories{Pos: pos},
+		P:            p,
+		S:            s,
+		AvatarRadius: occlusion.DefaultAvatarRadius,
+	}
+}
+
+// degenerate rooms must flow through training and evaluation without NaNs,
+// panics, or negative utilities.
+func assertSane(t *testing.T, room *dataset.Room) {
+	t.Helper()
+	m := core.New(core.Config{UseMIA: true, UseLWP: true, Epochs: 1, Seed: 1})
+	if _, err := m.Train([]core.Episode{{Room: room, Target: 0}}); err != nil {
+		t.Fatalf("training failed: %v", err)
+	}
+	rec := Func{RecName: "m", Start: func(r *dataset.Room, target int) Stepper {
+		return m.StartEpisode(r, target)
+	}}
+	res, err := Evaluate([]Recommender{rec}, room, []int{0}, 0.5)
+	if err != nil {
+		t.Fatalf("evaluation failed: %v", err)
+	}
+	r := res["m"]
+	for name, v := range map[string]float64{
+		"utility": r.Utility, "preference": r.Preference, "social": r.Social,
+		"occlusion": r.OcclusionRate, "churn": r.Churn,
+	} {
+		if math.IsNaN(v) || v < 0 {
+			t.Errorf("%s = %v", name, v)
+		}
+	}
+}
+
+func TestAllCoLocatedMRRoom(t *testing.T) {
+	n := 6
+	ifaces := make([]occlusion.Interface, n)
+	for i := range ifaces {
+		ifaces[i] = occlusion.MR
+	}
+	p := make([]float64, n*n)
+	s := make([]float64, n*n)
+	for w := 1; w < n; w++ {
+		p[w] = 0.5
+	}
+	assertSane(t, buildRoom(n, 4, ifaces, p, s))
+}
+
+func TestEmptySocialGraphRoom(t *testing.T) {
+	n := 5
+	assertSane(t, buildRoom(n, 4, make([]occlusion.Interface, n),
+		make([]float64, n*n), make([]float64, n*n)))
+}
+
+func TestTwoUserRoom(t *testing.T) {
+	n := 2
+	p := make([]float64, n*n)
+	p[1] = 0.9
+	assertSane(t, buildRoom(n, 3, make([]occlusion.Interface, n), p, make([]float64, n*n)))
+}
+
+func TestSingleFrameEpisode(t *testing.T) {
+	n := 5
+	p := make([]float64, n*n)
+	for w := 1; w < n; w++ {
+		p[w] = 0.4
+	}
+	assertSane(t, buildRoom(n, 0, make([]occlusion.Interface, n), p, make([]float64, n*n)))
+}
+
+func TestAllUsersStackedAtOnePoint(t *testing.T) {
+	// Every avatar at (nearly) the same spot: full-circle arcs everywhere,
+	// the densest possible occlusion graph.
+	n := 5
+	room := buildRoom(n, 2, make([]occlusion.Interface, n), make([]float64, n*n), make([]float64, n*n))
+	for t2 := range room.Traj.Pos {
+		pts := make([]geom.Vec2, n)
+		for i := range pts {
+			pts[i] = geom.Vec2{X: 0.01 * float64(i), Z: 0}
+		}
+		room.Traj.Pos[t2] = pts
+	}
+	for w := 1; w < n; w++ {
+		room.P[w] = 0.7
+	}
+	assertSane(t, room)
+}

@@ -1,0 +1,129 @@
+// Package sim is the experiment harness: it runs any AFTER recommender over
+// a generated room, times every per-step decision, and scores the resulting
+// rendering trace with the paper's metrics. All of Tables II–VII reduce to
+// calls into this package.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"after/internal/dataset"
+	"after/internal/metrics"
+	"after/internal/occlusion"
+)
+
+// Stepper produces the rendered set for consecutive time steps of one
+// episode. Implementations carry whatever recurrent state they need.
+type Stepper interface {
+	// Step returns rendered (length room.N): rendered[w] = true ⇔ w is
+	// displayed for the target at step t. Frames arrive in temporal order.
+	Step(t int, frame *occlusion.StaticGraph) []bool
+}
+
+// Recommender is an AFTER recommender F_t(·) (Definition 1) packaged for the
+// harness.
+type Recommender interface {
+	Name() string
+	StartEpisode(room *dataset.Room, target int) Stepper
+}
+
+// Func adapts a name and a closure to the Recommender interface; used to
+// plug in POSHGNN sessions and ad-hoc recommenders without new types.
+type Func struct {
+	RecName string
+	Start   func(room *dataset.Room, target int) Stepper
+}
+
+// Name implements Recommender.
+func (f Func) Name() string { return f.RecName }
+
+// StartEpisode implements Recommender.
+func (f Func) StartEpisode(room *dataset.Room, target int) Stepper {
+	return f.Start(room, target)
+}
+
+// EpisodeResult pairs a recommender's metrics with its identity.
+type EpisodeResult struct {
+	Recommender string
+	Target      int
+	metrics.Result
+}
+
+// RunEpisode drives rec through every frame of the target's DOG, timing each
+// Step call, and scores the trace with β.
+func RunEpisode(rec Recommender, room *dataset.Room, dog *occlusion.DOG, beta float64) (EpisodeResult, error) {
+	res, _, err := RunEpisodeTrace(rec, room, dog, beta)
+	return res, err
+}
+
+// RunEpisodeTrace is RunEpisode but also returns the raw rendering trace,
+// for analyses that need per-step detail (significance tests, optimality
+// gaps).
+func RunEpisodeTrace(rec Recommender, room *dataset.Room, dog *occlusion.DOG, beta float64) (EpisodeResult, [][]bool, error) {
+	if dog.Target < 0 || dog.Target >= room.N {
+		return EpisodeResult{}, nil, fmt.Errorf("sim: target %d out of range", dog.Target)
+	}
+	stepper := rec.StartEpisode(room, dog.Target)
+	rendered := make([][]bool, len(dog.Frames))
+	var elapsed time.Duration
+	for t, frame := range dog.Frames {
+		start := time.Now()
+		rendered[t] = stepper.Step(t, frame)
+		elapsed += time.Since(start)
+	}
+	res, err := metrics.Score(room, dog, rendered, beta)
+	if err != nil {
+		return EpisodeResult{}, nil, err
+	}
+	res.StepTime = elapsed / time.Duration(len(dog.Frames))
+	return EpisodeResult{Recommender: rec.Name(), Target: dog.Target, Result: res}, rendered, nil
+}
+
+// Evaluate runs each recommender over the same targets in room and returns,
+// per recommender, the mean result across targets. Targets outside [0, N)
+// are rejected. The DOG for each target is built once and shared across
+// recommenders so everyone sees the identical scene.
+func Evaluate(recs []Recommender, room *dataset.Room, targets []int, beta float64) (map[string]metrics.Result, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("sim: no targets")
+	}
+	dogs := make([]*occlusion.DOG, len(targets))
+	for i, target := range targets {
+		if target < 0 || target >= room.N {
+			return nil, fmt.Errorf("sim: target %d out of range", target)
+		}
+		dogs[i] = occlusion.BuildDOG(target, room.Traj, room.AvatarRadius)
+	}
+	out := make(map[string]metrics.Result, len(recs))
+	for _, rec := range recs {
+		var rs []metrics.Result
+		for i := range targets {
+			er, err := RunEpisode(rec, room, dogs[i], beta)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s on target %d: %w", rec.Name(), targets[i], err)
+			}
+			rs = append(rs, er.Result)
+		}
+		out[rec.Name()] = metrics.Mean(rs)
+	}
+	return out, nil
+}
+
+// DefaultTargets picks up to k well-spread target users for evaluation: the
+// harness follows several targets and averages, since single-target traces
+// are noisy.
+func DefaultTargets(room *dataset.Room, k int) []int {
+	if k <= 0 || k > room.N {
+		k = 1
+	}
+	targets := make([]int, 0, k)
+	stride := room.N / k
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < room.N && len(targets) < k; i += stride {
+		targets = append(targets, i)
+	}
+	return targets
+}

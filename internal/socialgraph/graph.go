@@ -1,0 +1,335 @@
+// Package socialgraph implements the users' social network G = (V, E) of the
+// AFTER problem and the graph-feature scorers that stand in for the paper's
+// pre-trained personalized and social recommenders: they turn the network
+// into the preference utility p(v,w) ∈ [0,1] and the social-presence utility
+// s(v,w) ∈ [0,1] consumed by every recommender.
+package socialgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an undirected weighted social network. Vertices are dense ids
+// 0..N-1; edge weights model interaction strength (likes, plays, message
+// counts), following the SMMnet convention.
+type Graph struct {
+	n   int
+	adj []map[int]float64
+}
+
+// New creates an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("socialgraph: negative vertex count %d", n))
+	}
+	adj := make([]map[int]float64, n)
+	for i := range adj {
+		adj[i] = map[int]float64{}
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// check panics for out-of-range vertices: silent clamping would corrupt
+// experiments.
+func (g *Graph) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("socialgraph: vertex %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// AddEdge inserts or overwrites the undirected edge {u, v} with weight w.
+// Self-loops are ignored (a user is trivially "connected" to herself).
+func (g *Graph) AddEdge(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return
+	}
+	g.adj[u][v] = w
+	g.adj[v][u] = w
+}
+
+// AddInteraction accumulates w onto the existing edge weight, creating the
+// edge if needed. It matches how interaction datasets (likes/plays) build up
+// tie strength.
+func (g *Graph) AddInteraction(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return
+	}
+	g.adj[u][v] += w
+	g.adj[v][u] += w
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Weight returns the weight of edge {u, v}, or 0 if absent.
+func (g *Graph) Weight(u, v int) float64 {
+	g.check(u)
+	g.check(v)
+	return g.adj[u][v]
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, m := range g.adj {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// Neighbors returns the sorted neighbor ids of u.
+func (g *Graph) Neighbors(u int) []int {
+	g.check(u)
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaxWeight returns the largest edge weight in the graph (0 for an empty
+// graph); scorers use it to normalize tie strength into [0,1].
+func (g *Graph) MaxWeight() float64 {
+	mx := 0.0
+	for _, m := range g.adj {
+		for _, w := range m {
+			if w > mx {
+				mx = w
+			}
+		}
+	}
+	return mx
+}
+
+// CommonNeighbors returns the sorted common neighbors of u and v.
+func (g *Graph) CommonNeighbors(u, v int) []int {
+	g.check(u)
+	g.check(v)
+	a, b := g.adj[u], g.adj[v]
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var out []int
+	for w := range a {
+		if _, ok := b[w]; ok {
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AdamicAdar returns the Adamic–Adar link-prediction score
+// Σ_{z ∈ N(u)∩N(v)} 1/ln(deg(z)), a standard proxy for latent preference.
+func (g *Graph) AdamicAdar(u, v int) float64 {
+	s := 0.0
+	for _, z := range g.CommonNeighbors(u, v) {
+		d := g.Degree(z)
+		if d > 1 {
+			s += 1 / math.Log(float64(d))
+		} else {
+			// deg-1 common neighbor is maximally informative; cap its
+			// contribution to avoid a division by log(1)=0.
+			s += 1 / math.Log(2)
+		}
+	}
+	return s
+}
+
+// Jaccard returns |N(u)∩N(v)| / |N(u)∪N(v)| (0 when both are isolated).
+func (g *Graph) Jaccard(u, v int) float64 {
+	inter := len(g.CommonNeighbors(u, v))
+	union := g.Degree(u) + g.Degree(v) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// ClusteringCoefficient returns the local clustering coefficient of u.
+func (g *Graph) ClusteringCoefficient(u int) float64 {
+	nbrs := g.Neighbors(u)
+	k := len(nbrs)
+	if k < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if g.HasEdge(nbrs[i], nbrs[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(k*(k-1))
+}
+
+// Subgraph returns the induced subgraph on ids (in the given order) with
+// vertices renumbered 0..len(ids)-1, as used when sampling a conference room
+// out of a platform-scale network.
+func (g *Graph) Subgraph(ids []int) *Graph {
+	idx := make(map[int]int, len(ids))
+	for i, id := range ids {
+		g.check(id)
+		if _, dup := idx[id]; dup {
+			panic(fmt.Sprintf("socialgraph: duplicate id %d in Subgraph", id))
+		}
+		idx[id] = i
+	}
+	sub := New(len(ids))
+	for i, id := range ids {
+		for v, w := range g.adj[id] {
+			if j, ok := idx[v]; ok && j > i {
+				sub.AddEdge(i, j, w)
+			}
+		}
+	}
+	return sub
+}
+
+// Components returns the connected components as slices of sorted vertex
+// ids, largest first.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	return comps
+}
+
+// LabelPropagation partitions vertices into communities: every vertex
+// starts in its own community and repeatedly adopts the weighted-majority
+// label among its neighbors, with the rng breaking ties. Isolated vertices
+// keep their own singleton labels. Returned labels are dense in [0, k).
+func (g *Graph) LabelPropagation(seed int64, iters int) []int {
+	rng := newLCG(seed)
+	labels := make([]int, g.n)
+	for i := range labels {
+		labels[i] = i
+	}
+	order := make([]int, g.n)
+	for i := range order {
+		order[i] = i
+	}
+	for it := 0; it < iters; it++ {
+		// Fisher–Yates with the deterministic LCG.
+		for i := g.n - 1; i > 0; i-- {
+			j := int(rng.next() % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		changed := false
+		for _, u := range order {
+			if len(g.adj[u]) == 0 {
+				continue
+			}
+			weight := map[int]float64{}
+			for v, w := range g.adj[u] {
+				weight[labels[v]] += w
+			}
+			best, bestW := labels[u], weight[labels[u]]
+			for l, w := range weight {
+				if w > bestW || (w == bestW && l < best) {
+					best, bestW = l, w
+				}
+			}
+			if best != labels[u] {
+				labels[u] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Densify labels.
+	remap := map[int]int{}
+	for i, l := range labels {
+		if _, ok := remap[l]; !ok {
+			remap[l] = len(remap)
+		}
+		labels[i] = remap[l]
+	}
+	return labels
+}
+
+// lcg is a tiny deterministic generator so LabelPropagation does not depend
+// on math/rand ordering guarantees across Go versions.
+type lcg struct{ state uint64 }
+
+func newLCG(seed int64) *lcg { return &lcg{state: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() uint64 {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return l.state >> 11
+}
+
+// HopDistance returns the unweighted shortest-path hop count from u to v,
+// or -1 if disconnected. Social-presence scoring decays with hop distance.
+func (g *Graph) HopDistance(u, v int) int {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return 0
+	}
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for y := range g.adj[x] {
+			if dist[y] == -1 {
+				dist[y] = dist[x] + 1
+				if y == v {
+					return dist[y]
+				}
+				queue = append(queue, y)
+			}
+		}
+	}
+	return -1
+}

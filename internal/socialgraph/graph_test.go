@@ -1,0 +1,224 @@
+package socialgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// triangleWithTail builds 0-1-2 triangle plus pendant 3 attached to 2.
+func triangleWithTail() *Graph {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(2, 3, 1)
+	return g
+}
+
+func TestAddEdgeSymmetric(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 2, 1.5)
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Error("edge not symmetric")
+	}
+	if g.Weight(2, 0) != 1.5 {
+		t.Errorf("weight = %v", g.Weight(2, 0))
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("phantom edge")
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := New(2)
+	g.AddEdge(1, 1, 5)
+	g.AddInteraction(1, 1, 5)
+	if g.Degree(1) != 0 || g.EdgeCount() != 0 {
+		t.Error("self loop was stored")
+	}
+}
+
+func TestAddInteractionAccumulates(t *testing.T) {
+	g := New(2)
+	g.AddInteraction(0, 1, 2)
+	g.AddInteraction(0, 1, 3)
+	if g.Weight(0, 1) != 5 {
+		t.Errorf("accumulated weight = %v", g.Weight(0, 1))
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := triangleWithTail()
+	if g.Degree(2) != 3 {
+		t.Errorf("deg(2) = %d", g.Degree(2))
+	}
+	nbrs := g.Neighbors(2)
+	want := []int{0, 1, 3}
+	if len(nbrs) != 3 {
+		t.Fatalf("neighbors = %v", nbrs)
+	}
+	for i, w := range want {
+		if nbrs[i] != w {
+			t.Errorf("neighbors = %v, want %v", nbrs, want)
+		}
+	}
+}
+
+func TestEdgeCount(t *testing.T) {
+	if got := triangleWithTail().EdgeCount(); got != 4 {
+		t.Errorf("EdgeCount = %d", got)
+	}
+}
+
+func TestCommonNeighborsAndJaccard(t *testing.T) {
+	g := triangleWithTail()
+	cn := g.CommonNeighbors(0, 1)
+	if len(cn) != 1 || cn[0] != 2 {
+		t.Errorf("CommonNeighbors(0,1) = %v", cn)
+	}
+	// N(0)={1,2}, N(1)={0,2}: inter=1 (just 2), union=3.
+	if j := g.Jaccard(0, 1); math.Abs(j-1.0/3.0) > 1e-12 {
+		t.Errorf("Jaccard = %v", j)
+	}
+	if j := g.Jaccard(0, 3); math.Abs(j-0.5) > 1e-12 {
+		// N(0)={1,2}, N(3)={2}: inter=1, union=2.
+		t.Errorf("Jaccard(0,3) = %v", j)
+	}
+}
+
+func TestAdamicAdar(t *testing.T) {
+	g := triangleWithTail()
+	// Common neighbor of 0 and 1 is node 2 with degree 3.
+	want := 1 / math.Log(3)
+	if aa := g.AdamicAdar(0, 1); math.Abs(aa-want) > 1e-12 {
+		t.Errorf("AdamicAdar = %v, want %v", aa, want)
+	}
+	if aa := g.AdamicAdar(1, 3); math.Abs(aa-want) > 1e-12 {
+		t.Errorf("AdamicAdar(1,3) = %v, want %v", aa, want)
+	}
+}
+
+func TestAdamicAdarDegreeOneCapped(t *testing.T) {
+	// 0-1, 1 is the only common neighbor of 0 and 2 with degree 2... build
+	// a star where the common neighbor has degree exactly 1 via subgraph.
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 1, 1)
+	// Common neighbor 1 has degree 2 -> 1/ln2. Now isolate: a graph where
+	// common neighbor has degree 1 is impossible (it touches both), so the
+	// cap applies only defensively; assert no Inf/NaN on the dense graph.
+	if aa := g.AdamicAdar(0, 2); math.IsInf(aa, 0) || math.IsNaN(aa) {
+		t.Errorf("AdamicAdar = %v", aa)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	g := triangleWithTail()
+	if c := g.ClusteringCoefficient(0); c != 1 {
+		t.Errorf("cc(0) = %v", c) // neighbors 1,2 are connected
+	}
+	// Node 2's neighbors {0,1,3}: only 0-1 connected → 1/3.
+	if c := g.ClusteringCoefficient(2); math.Abs(c-1.0/3.0) > 1e-12 {
+		t.Errorf("cc(2) = %v", c)
+	}
+	if c := g.ClusteringCoefficient(3); c != 0 {
+		t.Errorf("cc(3) = %v", c)
+	}
+}
+
+func TestSubgraphRenumbers(t *testing.T) {
+	g := triangleWithTail()
+	sub := g.Subgraph([]int{2, 0, 3})
+	if sub.N() != 3 {
+		t.Fatalf("N = %d", sub.N())
+	}
+	// 2↔0 edge becomes 0↔1; 2↔3 becomes 0↔2; 0-1 and 1-2 edges drop.
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(0, 2) {
+		t.Error("expected edges missing")
+	}
+	if sub.HasEdge(1, 2) {
+		t.Error("unexpected edge between renumbered 0 and 3")
+	}
+	if sub.Weight(0, 1) != 3 {
+		t.Errorf("carried weight = %v", sub.Weight(0, 1))
+	}
+}
+
+func TestSubgraphDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	triangleWithTail().Subgraph([]int{0, 0})
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 4, 1)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 2 {
+		t.Errorf("largest component = %v", comps[0])
+	}
+	if len(comps[2]) != 1 || comps[2][0] != 5 {
+		t.Errorf("singleton = %v", comps[2])
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	if d := g.HopDistance(0, 3); d != 3 {
+		t.Errorf("hop = %d", d)
+	}
+	if d := g.HopDistance(0, 0); d != 0 {
+		t.Errorf("self hop = %d", d)
+	}
+	if d := g.HopDistance(0, 4); d != -1 {
+		t.Errorf("disconnected hop = %d", d)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(2).AddEdge(0, 5, 1)
+}
+
+// Property: random graphs keep weights symmetric and degree sums equal to
+// twice the edge count.
+func TestRandomGraphInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			g.AddInteraction(rng.Intn(n), rng.Intn(n), rng.Float64())
+		}
+		degSum := 0
+		for u := 0; u < n; u++ {
+			degSum += g.Degree(u)
+			for _, v := range g.Neighbors(u) {
+				if g.Weight(u, v) != g.Weight(v, u) {
+					return false
+				}
+			}
+		}
+		return degSum == 2*g.EdgeCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package socialgraph
+
+import "testing"
+
+// twoCliques builds two dense 4-cliques joined by a single bridge edge.
+func twoCliques() *Graph {
+	g := New(8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j, 1)
+			g.AddEdge(i+4, j+4, 1)
+		}
+	}
+	g.AddEdge(0, 4, 0.1) // weak bridge
+	return g
+}
+
+func TestLabelPropagationSeparatesCliques(t *testing.T) {
+	g := twoCliques()
+	labels := g.LabelPropagation(1, 20)
+	if len(labels) != 8 {
+		t.Fatalf("labels = %v", labels)
+	}
+	for i := 1; i < 4; i++ {
+		if labels[i] != labels[0] {
+			t.Errorf("clique A split: %v", labels)
+		}
+		if labels[i+4] != labels[4] {
+			t.Errorf("clique B split: %v", labels)
+		}
+	}
+	if labels[0] == labels[4] {
+		t.Errorf("cliques merged across weak bridge: %v", labels)
+	}
+}
+
+func TestLabelPropagationDenseLabels(t *testing.T) {
+	g := twoCliques()
+	labels := g.LabelPropagation(2, 20)
+	maxLabel := 0
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if l < 0 {
+			t.Fatalf("negative label %d", l)
+		}
+		seen[l] = true
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	if len(seen) != maxLabel+1 {
+		t.Errorf("labels not dense: %v", labels)
+	}
+}
+
+func TestLabelPropagationIsolatedSingletons(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	labels := g.LabelPropagation(3, 10)
+	if labels[0] != labels[1] {
+		t.Errorf("connected pair split: %v", labels)
+	}
+	if labels[2] == labels[0] {
+		t.Errorf("isolated vertex joined a community: %v", labels)
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	g := twoCliques()
+	a := g.LabelPropagation(7, 15)
+	b := g.LabelPropagation(7, 15)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+}
+
+func TestLabelPropagationEmptyGraph(t *testing.T) {
+	g := New(4)
+	labels := g.LabelPropagation(1, 5)
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			t.Errorf("edgeless vertices share a label: %v", labels)
+		}
+		seen[l] = true
+	}
+}

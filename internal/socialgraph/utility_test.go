@@ -1,0 +1,157 @@
+package socialgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func modelForTest(t *testing.T, interests [][]float64) (*Graph, *UtilityModel) {
+	t.Helper()
+	g := New(5)
+	g.AddEdge(0, 1, 4) // strong friends
+	g.AddEdge(1, 2, 1) // weak friends
+	g.AddEdge(2, 3, 2)
+	m, err := NewUtilityModel(g, interests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, m
+}
+
+func TestUtilityRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	interests := make([][]float64, 5)
+	for i := range interests {
+		interests[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	_, m := modelForTest(t, interests)
+	for v := 0; v < 5; v++ {
+		for w := 0; w < 5; w++ {
+			p := m.Preference(v, w)
+			s := m.SocialPresence(v, w)
+			if p < 0 || p > 1 || s < 0 || s > 1 {
+				t.Fatalf("utility out of range: p=%v s=%v", p, s)
+			}
+		}
+	}
+}
+
+func TestSelfUtilityZero(t *testing.T) {
+	_, m := modelForTest(t, nil)
+	if m.Preference(2, 2) != 0 || m.SocialPresence(2, 2) != 0 {
+		t.Error("self utility must be 0")
+	}
+}
+
+func TestSocialPresenceTiers(t *testing.T) {
+	_, m := modelForTest(t, nil)
+	friendStrong := m.SocialPresence(0, 1) // weight 4 = max
+	friendWeak := m.SocialPresence(1, 2)   // weight 1
+	fof := m.SocialPresence(0, 2)          // share neighbor 1
+	stranger := m.SocialPresence(0, 4)
+	if friendStrong != 1 {
+		t.Errorf("strong friend = %v, want 1", friendStrong)
+	}
+	if !(friendStrong > friendWeak) {
+		t.Errorf("strong %v should beat weak %v", friendStrong, friendWeak)
+	}
+	if !(friendWeak >= 0.5) {
+		t.Errorf("friend floor violated: %v", friendWeak)
+	}
+	if !(friendWeak > fof) {
+		t.Errorf("weak friend %v should beat friend-of-friend %v", friendWeak, fof)
+	}
+	if fof <= 0 || fof > 0.25 {
+		t.Errorf("fof = %v, want in (0, 0.25]", fof)
+	}
+	if stranger != 0 {
+		t.Errorf("stranger = %v", stranger)
+	}
+}
+
+func TestPreferenceStructuralOnly(t *testing.T) {
+	g, m := modelForTest(t, nil)
+	// 0 and 2 share neighbor 1; 0 and 4 share nothing.
+	if m.Preference(0, 2) <= m.Preference(0, 4) {
+		t.Errorf("structural preference ordering violated: %v vs %v",
+			m.Preference(0, 2), m.Preference(0, 4))
+	}
+	_ = g
+}
+
+func TestPreferenceAttributeAffinity(t *testing.T) {
+	interests := [][]float64{
+		{1, 0}, // user 0
+		{1, 0}, // user 1: identical to 0
+		{-1, 0},
+		{0, 1},
+		{-1, 0}, // user 4: opposite of 0
+	}
+	_, m := modelForTest(t, interests)
+	if m.Preference(0, 1) <= m.Preference(0, 4) {
+		t.Errorf("aligned interests should beat opposed: %v vs %v",
+			m.Preference(0, 1), m.Preference(0, 4))
+	}
+}
+
+func TestPreferenceZeroVectorNeutral(t *testing.T) {
+	interests := [][]float64{{0, 0}, {1, 1}, {0, 0}, {0, 0}, {0, 0}}
+	_, m := modelForTest(t, interests)
+	p := m.Preference(0, 4) // both zero vectors, no shared structure
+	if math.Abs(p-0.6*0.5) > 1e-12 {
+		t.Errorf("neutral preference = %v, want 0.3", p)
+	}
+}
+
+func TestNewUtilityModelBadInterests(t *testing.T) {
+	g := New(3)
+	if _, err := NewUtilityModel(g, make([][]float64, 2)); err == nil {
+		t.Error("expected error for mismatched interests")
+	}
+}
+
+func TestMatricesConsistent(t *testing.T) {
+	_, m := modelForTest(t, nil)
+	p, s := m.Matrices()
+	n := 5
+	if len(p) != n*n || len(s) != n*n {
+		t.Fatalf("matrix sizes %d, %d", len(p), len(s))
+	}
+	for v := 0; v < n; v++ {
+		for w := 0; w < n; w++ {
+			if p[v*n+w] != m.Preference(v, w) {
+				t.Fatalf("p mismatch at %d,%d", v, w)
+			}
+			if s[v*n+w] != m.SocialPresence(v, w) {
+				t.Fatalf("s mismatch at %d,%d", v, w)
+			}
+		}
+	}
+}
+
+func TestEmptyGraphUtilities(t *testing.T) {
+	g := New(3)
+	m, err := NewUtilityModel(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Preference(0, 1) != 0 {
+		t.Errorf("empty graph preference = %v", m.Preference(0, 1))
+	}
+	if m.SocialPresence(0, 1) != 0 {
+		t.Errorf("empty graph presence = %v", m.SocialPresence(0, 1))
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	if c := cosine([]float64{1, 0}, []float64{1, 0}); math.Abs(c-1) > 1e-12 {
+		t.Errorf("identical cosine = %v", c)
+	}
+	if c := cosine([]float64{1, 0}, []float64{-1, 0}); math.Abs(c) > 1e-12 {
+		t.Errorf("opposite cosine = %v", c)
+	}
+	if c := cosine([]float64{1, 0}, []float64{0, 1}); math.Abs(c-0.5) > 1e-12 {
+		t.Errorf("orthogonal cosine = %v", c)
+	}
+}

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "mean", Mean(xs), 5, 1e-12)
+	approx(t, "variance", Variance(xs), 32.0/7.0, 1e-12)
+	approx(t, "std", StdDev(xs), math.Sqrt(32.0/7.0), 1e-12)
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("singleton variance should be NaN")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "pearson", r, 1, 1e-12)
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	approx(t, "pearson neg", r, -1, 1e-12)
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 3, 2, 5, 4}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "pearson", r, 0.8, 1e-12)
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("insufficient data not detected")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero variance not detected")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform gives ρ = 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	r, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "spearman", r, 1, 1e-12)
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 2, 2, 4}
+	y := []float64{1, 2, 2, 4}
+	r, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "spearman ties", r, 1, 1e-12)
+}
+
+func TestRanksAverageTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("ranks = %v, want %v", r, want)
+			break
+		}
+	}
+}
+
+func TestPairedTTestSignificant(t *testing.T) {
+	a := []float64{10.1, 10.3, 9.9, 10.4, 10.2, 10.0, 10.3, 10.1}
+	b := []float64{9.1, 9.2, 8.9, 9.5, 9.0, 9.1, 9.3, 9.2}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-4 {
+		t.Errorf("clear difference not significant: p=%v", res.P)
+	}
+	if res.MeanDiff <= 0 {
+		t.Errorf("mean diff = %v", res.MeanDiff)
+	}
+}
+
+func TestPairedTTestNull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Same distribution: p should usually be far from 0.
+	highP := 0
+	for trial := 0; trial < 20; trial++ {
+		a := make([]float64, 30)
+		b := make([]float64, 30)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		res, err := PairedTTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P > 0.05 {
+			highP++
+		}
+	}
+	if highP < 15 {
+		t.Errorf("null hypothesis rejected too often: %d/20 trials had p>0.05", 20-highP)
+	}
+}
+
+func TestPairedTTestIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	res, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("identical samples p = %v, want 1", res.P)
+	}
+}
+
+func TestPairedTTestConstantShift(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 3, 4}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Errorf("deterministic shift p = %v, want 0", res.P)
+	}
+}
+
+func TestStudentTKnownQuantiles(t *testing.T) {
+	// With df=10, t=2.228 is the 97.5th percentile → two-sided p ≈ 0.05.
+	approx(t, "t(10, 2.228)", studentTTwoSided(2.228, 10), 0.05, 1e-3)
+	// df=1 (Cauchy): t=1 gives p = 0.5.
+	approx(t, "t(1, 1)", studentTTwoSided(1, 1), 0.5, 1e-9)
+	// t=0 → p = 1.
+	approx(t, "t(df,0)", studentTTwoSided(0, 5), 1, 1e-12)
+}
+
+func TestRegIncompleteBetaEdges(t *testing.T) {
+	if regIncompleteBeta(2, 3, 0) != 0 {
+		t.Error("I_0 != 0")
+	}
+	if regIncompleteBeta(2, 3, 1) != 1 {
+		t.Error("I_1 != 1")
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.37, 0.62, 0.9} {
+		lhs := regIncompleteBeta(2.5, 1.5, x)
+		rhs := 1 - regIncompleteBeta(1.5, 2.5, 1-x)
+		approx(t, "beta symmetry", lhs, rhs, 1e-10)
+	}
+	// I_x(1,1) = x (uniform CDF).
+	approx(t, "uniform", regIncompleteBeta(1, 1, 0.3), 0.3, 1e-12)
+}
+
+func TestTTestErrors(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{2}); err == nil {
+		t.Error("insufficient data not detected")
+	}
+}

@@ -1,0 +1,277 @@
+// Package userstudy simulates the paper's 48-participant XR user study
+// (Sec. V-C). The original study put real people in a Unity3D
+// videoconferencing room, showed each of them the adaptive display produced
+// by five methods, and collected 5-point Likert satisfaction scores. This
+// stand-in replaces the humans with a calibrated response model: each
+// simulated participant's Likert feedback is a noisy monotone function of
+// the utility she actually experienced, which is precisely the relationship
+// Table VIII quantifies (Pearson ≈ 0.93, Spearman ≈ 0.70 between AFTER
+// utility and satisfaction).
+package userstudy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"after/internal/dataset"
+	"after/internal/metrics"
+	"after/internal/sim"
+	"after/internal/stats"
+)
+
+// Participants is the number of study subjects, matching the paper.
+const Participants = 48
+
+// Config controls the simulated study.
+type Config struct {
+	// Room is the shared conferencing space; every user doubles as a study
+	// participant (participant i is user i). Its N should be Participants.
+	Room *dataset.Room
+	// Beta is the social-presence weight used for the experienced utility.
+	Beta float64
+	// NoiseStd is the feedback noise in Likert units (0 = 0.45): how far a
+	// participant's reported satisfaction strays from her experienced
+	// utility. Larger values weaken the Table VIII correlations.
+	NoiseStd float64
+	// Seed drives the response noise.
+	Seed int64
+}
+
+// MethodOutcome aggregates one method's study results.
+type MethodOutcome struct {
+	Method string
+	// Utility, Preference, Social are mean per-step experienced utilities
+	// averaged over participants (the bars of Fig. 4).
+	Utility    float64
+	Preference float64
+	Social     float64
+	// Feedback fields are mean Likert scores in [1, 5] for overall
+	// satisfaction, display customization, and feeling of company.
+	Feedback           float64
+	PreferenceFeedback float64
+	SocialFeedback     float64
+	// PerParticipant holds each subject's (utility, feedback) pairs for the
+	// correlation analysis.
+	PerParticipant []ParticipantRecord
+}
+
+// ParticipantRecord is one subject's outcome under one method.
+type ParticipantRecord struct {
+	Participant int
+	Utility     float64
+	Preference  float64
+	Social      float64
+	Feedback    float64
+	PrefScore   float64
+	SocialScore float64
+}
+
+// Study holds all outcomes plus the correlation analysis of Table VIII.
+type Study struct {
+	Outcomes []MethodOutcome
+	// PearsonPref/Spearman... correlate per-(participant, method) utilities
+	// with the matching Likert feedback, pooled across methods.
+	PearsonPref     float64
+	PearsonSocial   float64
+	PearsonUtility  float64
+	SpearmanPref    float64
+	SpearmanSocial  float64
+	SpearmanUtility float64
+}
+
+// Run executes the study: every participant experiences every method in the
+// shared room, then reports Likert feedback through the response model.
+func Run(cfg Config, methods []sim.Recommender) (*Study, error) {
+	if cfg.Room == nil {
+		return nil, fmt.Errorf("userstudy: nil room")
+	}
+	if len(methods) == 0 {
+		return nil, fmt.Errorf("userstudy: no methods")
+	}
+	if cfg.NoiseStd == 0 {
+		cfg.NoiseStd = 0.45
+	}
+	room := cfg.Room
+	participants := room.N
+	targets := make([]int, participants)
+	for i := range targets {
+		targets[i] = i
+	}
+	// Raw experienced utilities per method per participant.
+	raws := make([]raw, 0, len(methods))
+	for _, m := range methods {
+		var rs []metrics.Result
+		for _, target := range targets {
+			er, err := runOne(m, room, target, cfg.Beta)
+			if err != nil {
+				return nil, err
+			}
+			rs = append(rs, er)
+		}
+		raws = append(raws, raw{method: m.Name(), results: rs})
+	}
+	// Calibrate the Likert mapping on the pooled distribution so scores
+	// span the scale: z-score → 3 + 1.2·z + noise, clamped to [1, 5].
+	var pool []float64
+	for _, r := range raws {
+		for _, res := range r.results {
+			pool = append(pool, res.Utility)
+		}
+	}
+	mean := stats.Mean(pool)
+	sd := stats.StdDev(pool)
+	if sd == 0 || math.IsNaN(sd) {
+		sd = 1
+	}
+	prefPool, socPool := poolComponents(raws, func(r metrics.Result) float64 { return r.Preference }),
+		poolComponents(raws, func(r metrics.Result) float64 { return r.Social })
+	likert := func(x, mean, sd, noise float64) float64 {
+		z := (x - mean) / sd
+		return clampLikert(3 + 1.2*z + noise)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 97))
+	study := &Study{}
+	T := float64(room.T() + 1)
+	for _, r := range raws {
+		out := MethodOutcome{Method: r.method}
+		for i, res := range r.results {
+			rec := ParticipantRecord{
+				Participant: i,
+				Utility:     res.Utility / T,
+				Preference:  res.Preference / T,
+				Social:      res.Social / T,
+			}
+			// One shared mood term per (participant, method) session plus
+			// per-question jitter: answers to the three questions correlate,
+			// as real subjects' do.
+			mood := rng.NormFloat64() * cfg.NoiseStd
+			rec.Feedback = likert(res.Utility, mean, sd, mood+0.3*rng.NormFloat64())
+			rec.PrefScore = likert(res.Preference, prefPool[0], prefPool[1], mood+0.3*rng.NormFloat64())
+			rec.SocialScore = likert(res.Social, socPool[0], socPool[1], mood+0.3*rng.NormFloat64())
+			out.PerParticipant = append(out.PerParticipant, rec)
+			out.Utility += rec.Utility
+			out.Preference += rec.Preference
+			out.Social += rec.Social
+			out.Feedback += rec.Feedback
+			out.PreferenceFeedback += rec.PrefScore
+			out.SocialFeedback += rec.SocialScore
+		}
+		n := float64(len(r.results))
+		out.Utility /= n
+		out.Preference /= n
+		out.Social /= n
+		out.Feedback /= n
+		out.PreferenceFeedback /= n
+		out.SocialFeedback /= n
+		study.Outcomes = append(study.Outcomes, out)
+	}
+	if err := study.correlate(); err != nil {
+		return nil, err
+	}
+	return study, nil
+}
+
+func runOne(rec sim.Recommender, room *dataset.Room, target int, beta float64) (metrics.Result, error) {
+	res, err := sim.Evaluate([]sim.Recommender{rec}, room, []int{target}, beta)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	return res[rec.Name()], nil
+}
+
+// raw is one method's experienced results across all participants.
+type raw struct {
+	method  string
+	results []metrics.Result
+}
+
+func poolComponents(raws []raw, f func(metrics.Result) float64) [2]float64 {
+	var pool []float64
+	for _, r := range raws {
+		for _, res := range r.results {
+			pool = append(pool, f(res))
+		}
+	}
+	sd := stats.StdDev(pool)
+	if sd == 0 || math.IsNaN(sd) {
+		sd = 1
+	}
+	return [2]float64{stats.Mean(pool), sd}
+}
+
+func clampLikert(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	if x > 5 {
+		return 5
+	}
+	return x
+}
+
+// correlate computes the Table VIII statistics over pooled
+// (participant, method) records.
+func (s *Study) correlate() error {
+	var util, fb, pref, prefFb, soc, socFb []float64
+	for _, out := range s.Outcomes {
+		for _, r := range out.PerParticipant {
+			util = append(util, r.Utility)
+			fb = append(fb, r.Feedback)
+			pref = append(pref, r.Preference)
+			prefFb = append(prefFb, r.PrefScore)
+			soc = append(soc, r.Social)
+			socFb = append(socFb, r.SocialScore)
+		}
+	}
+	var err error
+	if s.PearsonUtility, err = stats.Pearson(util, fb); err != nil {
+		return err
+	}
+	if s.PearsonPref, err = stats.Pearson(pref, prefFb); err != nil {
+		return err
+	}
+	if s.PearsonSocial, err = stats.Pearson(soc, socFb); err != nil {
+		return err
+	}
+	if s.SpearmanUtility, err = stats.Spearman(util, fb); err != nil {
+		return err
+	}
+	if s.SpearmanPref, err = stats.Spearman(pref, prefFb); err != nil {
+		return err
+	}
+	if s.SpearmanSocial, err = stats.Spearman(soc, socFb); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Outcome returns the outcome for the named method, or nil.
+func (s *Study) Outcome(method string) *MethodOutcome {
+	for i := range s.Outcomes {
+		if s.Outcomes[i].Method == method {
+			return &s.Outcomes[i]
+		}
+	}
+	return nil
+}
+
+// Ranking returns method names ordered by mean Likert feedback, best first.
+func (s *Study) Ranking() []string {
+	type pair struct {
+		name string
+		fb   float64
+	}
+	ps := make([]pair, len(s.Outcomes))
+	for i, o := range s.Outcomes {
+		ps[i] = pair{o.Method, o.Feedback}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].fb > ps[j].fb })
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.name
+	}
+	return names
+}

@@ -1,0 +1,140 @@
+package userstudy
+
+import (
+	"math"
+	"testing"
+
+	"after/internal/baselines"
+	"after/internal/dataset"
+	"after/internal/sim"
+)
+
+func studyRoom(t testing.TB) *dataset.Room {
+	t.Helper()
+	r, err := dataset.Generate(dataset.Config{
+		Kind: dataset.SMM, PlatformUsers: 300, RoomUsers: 20, T: 15, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func methods() []sim.Recommender {
+	return []sim.Recommender{
+		baselines.Nearest{K: 5},
+		baselines.RenderAll{},
+		baselines.COMURNet{K: 5, Seed: 1, NodeBudget: 20000},
+	}
+}
+
+func TestRunStudyBasics(t *testing.T) {
+	room := studyRoom(t)
+	study, err := Run(Config{Room: room, Beta: 0.5, Seed: 1}, methods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Outcomes) != 3 {
+		t.Fatalf("outcomes = %d", len(study.Outcomes))
+	}
+	for _, o := range study.Outcomes {
+		if len(o.PerParticipant) != room.N {
+			t.Fatalf("%s: %d participants, want %d", o.Method, len(o.PerParticipant), room.N)
+		}
+		if o.Feedback < 1 || o.Feedback > 5 {
+			t.Errorf("%s: feedback %v out of Likert range", o.Method, o.Feedback)
+		}
+		if o.Utility < 0 {
+			t.Errorf("%s: negative utility", o.Method)
+		}
+		for _, r := range o.PerParticipant {
+			for _, f := range []float64{r.Feedback, r.PrefScore, r.SocialScore} {
+				if f < 1 || f > 5 || math.IsNaN(f) {
+					t.Fatalf("%s: likert %v out of range", o.Method, f)
+				}
+			}
+		}
+	}
+}
+
+func TestStudyCorrelationsPositive(t *testing.T) {
+	room := studyRoom(t)
+	study, err := Run(Config{Room: room, Beta: 0.5, Seed: 2}, methods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The response model is monotone in utility, so pooled correlations
+	// must come out clearly positive (the Table VIII property).
+	for name, c := range map[string]float64{
+		"pearson-utility":  study.PearsonUtility,
+		"spearman-utility": study.SpearmanUtility,
+		"pearson-pref":     study.PearsonPref,
+	} {
+		if c < 0.3 {
+			t.Errorf("%s = %v, want strongly positive", name, c)
+		}
+	}
+}
+
+func TestStudyNoiseWeakensCorrelation(t *testing.T) {
+	room := studyRoom(t)
+	lowNoise, err := Run(Config{Room: room, Beta: 0.5, Seed: 3, NoiseStd: 0.1}, methods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	highNoise, err := Run(Config{Room: room, Beta: 0.5, Seed: 3, NoiseStd: 2.5}, methods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lowNoise.PearsonUtility <= highNoise.PearsonUtility {
+		t.Errorf("noise did not weaken correlation: %v vs %v",
+			lowNoise.PearsonUtility, highNoise.PearsonUtility)
+	}
+}
+
+func TestStudyDeterministic(t *testing.T) {
+	room := studyRoom(t)
+	a, err := Run(Config{Room: room, Beta: 0.5, Seed: 4}, methods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Room: room, Beta: 0.5, Seed: 4}, methods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PearsonUtility != b.PearsonUtility || a.Outcomes[0].Feedback != b.Outcomes[0].Feedback {
+		t.Error("study not deterministic for fixed seed")
+	}
+}
+
+func TestOutcomeAndRanking(t *testing.T) {
+	room := studyRoom(t)
+	study, err := Run(Config{Room: room, Beta: 0.5, Seed: 5}, methods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Outcome("Nearest") == nil {
+		t.Error("Outcome lookup failed")
+	}
+	if study.Outcome("nope") != nil {
+		t.Error("phantom outcome")
+	}
+	rank := study.Ranking()
+	if len(rank) != 3 {
+		t.Fatalf("ranking = %v", rank)
+	}
+	for i := 1; i < len(rank); i++ {
+		if study.Outcome(rank[i-1]).Feedback < study.Outcome(rank[i]).Feedback {
+			t.Error("ranking not sorted by feedback")
+		}
+	}
+}
+
+func TestRunStudyErrors(t *testing.T) {
+	if _, err := Run(Config{}, methods()); err == nil {
+		t.Error("nil room accepted")
+	}
+	if _, err := Run(Config{Room: studyRoom(t)}, nil); err == nil {
+		t.Error("no methods accepted")
+	}
+}
