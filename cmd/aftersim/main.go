@@ -9,6 +9,7 @@
 //	aftersim -exp table7            # Table VII (sensitivity to VR share)
 //	aftersim -exp table8            # Table VIII (correlations)
 //	aftersim -exp fig4              # Fig. 4    (user study panels)
+//	aftersim -exp chaos             # chaos sweep (utility retention under faults)
 //	aftersim -exp all               # everything, in order
 //
 // -scale shrinks rooms and horizons proportionally (1 = paper scale, which
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "all", "experiment id: table2..table8, fig4, or all")
+		expID = flag.String("exp", "all", "experiment id: table2..table8, fig4, chaos, or all")
 		scale = flag.Float64("scale", 1.0, "room/horizon scale factor (1 = paper scale)")
 		quick = flag.Bool("quick", false, "single training configuration instead of the selection grid")
 		seed  = flag.Int64("seed", 0, "seed offset for all generators and trainers")
@@ -58,8 +59,15 @@ func main() {
 			}
 			return s.FormatFig4(), nil
 		},
+		"chaos": func(o exp.Options) (string, error) {
+			r, err := exp.RunChaos(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		},
 	}
-	order := []string{"table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig4"}
+	order := []string{"table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig4", "chaos"}
 
 	ids := []string{strings.ToLower(*expID)}
 	if ids[0] == "all" {

@@ -8,6 +8,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"after/internal/crowd"
@@ -152,16 +153,23 @@ func (r *Room) Validate() error {
 	if r.Traj.Agents() != r.N {
 		return fmt.Errorf("dataset: trajectories for %d agents, room %d", r.Traj.Agents(), r.N)
 	}
+	for t, row := range r.Traj.Pos {
+		if len(row) != r.N {
+			return fmt.Errorf("dataset: trajectory step %d covers %d users, room %d", t, len(row), r.N)
+		}
+	}
 	if len(r.P) != r.N*r.N || len(r.S) != r.N*r.N {
 		return fmt.Errorf("dataset: utility matrices sized %d/%d, want %d", len(r.P), len(r.S), r.N*r.N)
 	}
+	// NaN fails *every* range comparison, so it must be rejected
+	// explicitly — `v < 0 || v > 1` silently admits it.
 	for i, v := range r.P {
-		if v < 0 || v > 1 {
+		if math.IsNaN(v) || v < 0 || v > 1 {
 			return fmt.Errorf("dataset: P[%d]=%v out of [0,1]", i, v)
 		}
 	}
 	for i, v := range r.S {
-		if v < 0 || v > 1 {
+		if math.IsNaN(v) || v < 0 || v > 1 {
 			return fmt.Errorf("dataset: S[%d]=%v out of [0,1]", i, v)
 		}
 	}

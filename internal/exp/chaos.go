@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"after/internal/baselines"
+	"after/internal/chaos"
+	"after/internal/core"
+	"after/internal/dataset"
+	"after/internal/metrics"
+	"after/internal/resilience"
+	"after/internal/sim"
+)
+
+// ChaosRates is the default injected fault-rate sweep (per fault kind, per
+// step). 10% is the acceptance point: the resilient runner must keep every
+// recommender alive — zero unrecovered panics — and POSHGNN's utility
+// retention stays high.
+var ChaosRates = []float64{0.05, 0.10, 0.20}
+
+// ChaosReport is the chaos-sweep artifact: AFTER-utility retention per
+// recommender as the injected fault rate grows, plus the resilient runner's
+// aggregated robustness counters per rate.
+type ChaosReport struct {
+	Title   string
+	Methods []string
+	Rates   []float64
+	// Clean holds the fault-free reference run (plain harness).
+	Clean map[string]metrics.Result
+	// Faulty[rate][method] is the resilient run under Uniform(rate) faults.
+	Faulty map[float64]map[string]metrics.Result
+	Notes  []string
+}
+
+// Retention returns faulty utility as a fraction of the clean utility for
+// one method at one rate (1 = no degradation).
+func (c *ChaosReport) Retention(method string, rate float64) float64 {
+	clean := c.Clean[method].Utility
+	if clean == 0 {
+		return 0
+	}
+	return c.Faulty[rate][method].Utility / clean
+}
+
+// Counters returns the robustness counters aggregated over all methods at
+// one rate.
+func (c *ChaosReport) Counters(rate float64) metrics.Robustness {
+	var agg metrics.Robustness
+	for _, res := range c.Faulty[rate] {
+		agg.Add(res.Robustness)
+	}
+	return agg
+}
+
+// Format renders the sweep in the repo's table style.
+func (c *ChaosReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos sweep: %s\n", c.Title)
+	fmt.Fprintf(&b, "%-12s%14s", "Recommender", "clean")
+	for _, r := range c.Rates {
+		fmt.Fprintf(&b, "%20s", fmt.Sprintf("rate=%.0f%%", 100*r))
+	}
+	b.WriteString("\n")
+	for _, m := range c.Methods {
+		fmt.Fprintf(&b, "%-12s%14.1f", m, c.Clean[m].Utility)
+		for _, r := range c.Rates {
+			fmt.Fprintf(&b, "%20s", fmt.Sprintf("%.1f (%3.0f%%)",
+				c.Faulty[r][m].Utility, 100*c.Retention(m, r)))
+		}
+		b.WriteString("\n")
+	}
+	rates := append([]float64(nil), c.Rates...)
+	sort.Float64s(rates)
+	for _, r := range rates {
+		fmt.Fprintf(&b, "robustness @ %.0f%%: %s\n", 100*r, c.Counters(r))
+	}
+	for _, n := range c.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// chaosSpec is a deliberately small training grid: the chaos sweep measures
+// robustness of serving, not model selection, so one quick candidate is
+// enough.
+func (o Options) chaosSpec() trainSpec {
+	epochs := 4
+	if o.Quick {
+		epochs = 2
+	}
+	return trainSpec{alphas: []float64{core.DefaultAlpha}, seeds: []int64{1 + o.Seed}, epochs: epochs}
+}
+
+// RunChaos regenerates the chaos sweep: a Timik-like room evaluated clean
+// (plain harness) and under the seeded fault injector at each rate in
+// ChaosRates, every faulty episode driven by the resilient runner with the
+// POSHGNN → Nearest → hold-last-set fallback chain. Utility is always
+// scored against the ground-truth scene, so retention measures what the
+// user actually experienced under faults.
+func RunChaos(o Options) (*ChaosReport, error) {
+	o = o.withDefaults()
+	cfg := dataset.Config{
+		Kind:          dataset.Timik,
+		Seed:          4200 + o.Seed,
+		RoomUsers:     o.scaleInt(80, 20),
+		PlatformUsers: o.scaleInt(1200, 200),
+		T:             o.scaleInt(60, 20),
+	}
+	rooms, err := dataset.GenerateRooms(cfg, 2)
+	if err != nil {
+		return nil, err
+	}
+	trainRoom, valRoom := rooms[0], rooms[1]
+	testCfg := cfg
+	testCfg.Seed += 104729
+	testRoom, err := dataset.Generate(testCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	posh, err := TrainPOSHGNN(core.Config{UseMIA: true, UseLWP: true},
+		episodesFrom([]*dataset.Room{trainRoom}, 3), valRoom, o.chaosSpec())
+	if err != nil {
+		return nil, err
+	}
+	recs := []sim.Recommender{
+		POSHGNNRec(posh, "POSHGNN"),
+		baselines.Nearest{},
+		baselines.Random{Seed: o.Seed + 5},
+	}
+	methods := []string{"POSHGNN", "Nearest", "Random"}
+	targets := sim.DefaultTargets(testRoom, 4)
+
+	clean, err := sim.Evaluate(recs, testRoom, targets, Beta)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &ChaosReport{
+		Title: fmt.Sprintf("AFTER-utility retention under injected faults (%s-like room N=%d T=%d, %d targets, beta=%.2f)",
+			testRoom.Name, testRoom.N, testRoom.T(), len(targets), Beta),
+		Methods: methods,
+		Rates:   ChaosRates,
+		Clean:   clean,
+		Faulty:  map[float64]map[string]metrics.Result{},
+	}
+	for _, rate := range ChaosRates {
+		ccfg := chaos.Uniform(7700+o.Seed, rate)
+		ccfg.LatencySpike = 25 * time.Millisecond
+		// MaxRetries=3 sizes the retry budget so transient panic bursts
+		// (P(4 consecutive) = rate^4) almost never trigger a permanent
+		// demotion; the fallback runs under the same injected faults.
+		rcfg := resilience.Config{
+			StepDeadline: 8 * time.Millisecond,
+			MaxRetries:   3,
+			RetryBackoff: 200 * time.Microsecond,
+			Fallbacks:    []sim.Recommender{chaos.WrapRecommender(baselines.Nearest{}, ccfg)},
+		}
+		faulty := make([]sim.Recommender, len(recs))
+		for i, rec := range recs {
+			faulty[i] = chaos.WrapRecommender(rec, ccfg)
+		}
+		res, err := resilience.Evaluate(faulty, testRoom, targets, Beta, rcfg,
+			chaos.SourceFactory(testRoom.Traj, ccfg))
+		if err != nil {
+			return nil, fmt.Errorf("chaos rate %.2f: %w", rate, err)
+		}
+		report.Faulty[rate] = res
+	}
+	report.Notes = append(report.Notes,
+		"every faulty episode ran through the resilient runner (deadline 8ms, 3 retries, fallback chain primary->Nearest->hold-last-set, fallback also under chaos); zero unrecovered panics by construction — any escape would have failed the sweep",
+		"fault kinds injected uniformly per rate: frame drop, duplication, reordering, NaN/Inf coordinates, frozen trajectories, user churn, stepper panics, 25ms latency spikes",
+		"utility is scored against the ground-truth scene, so retention reflects what the user actually saw under faults")
+	return report, nil
+}

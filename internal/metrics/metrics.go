@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"after/internal/dataset"
@@ -30,6 +31,81 @@ type Result struct {
 	// difference over union, 0 = perfectly stable, 1 = complete turnover).
 	// The paper attributes low churn ("consistent recommendations") to LWP.
 	Churn float64
+	// Robustness counts the resilient runner's interventions (zero for
+	// episodes driven by the plain harness).
+	Robustness Robustness
+}
+
+// Robustness tallies every intervention the resilient session runner made
+// while keeping an episode alive under faults: recovered stepper panics,
+// frame-deadline misses, input frames it had to repair, and output steps it
+// served from stale state instead of a fresh recommendation. A fault-free
+// episode has the zero value.
+type Robustness struct {
+	// RecoveredPanics counts Step calls that panicked and were caught.
+	RecoveredPanics int
+	// Retries counts re-issued Step calls after a transient panic.
+	Retries int
+	// Demotions counts switches down the fallback recommender chain.
+	Demotions int
+	// DeadlineMisses counts steps whose Step call blew the frame deadline.
+	DeadlineMisses int
+	// DegradedSteps counts output steps served from the last good rendered
+	// set (missed deadline, missing input, or exhausted fallback chain).
+	DegradedSteps int
+	// SanitizedFrames counts input frames with repaired positions
+	// (NaN/Inf coordinates, user churn padding, over-long frames).
+	SanitizedFrames int
+	// DroppedFrames counts input-stream gaps the runner bridged.
+	DroppedFrames int
+	// DuplicateFrames counts discarded duplicate input frames.
+	DuplicateFrames int
+	// ReorderedFrames counts discarded frames that arrived out of order.
+	ReorderedFrames int
+}
+
+// Add accumulates o into r.
+func (r *Robustness) Add(o Robustness) {
+	r.RecoveredPanics += o.RecoveredPanics
+	r.Retries += o.Retries
+	r.Demotions += o.Demotions
+	r.DeadlineMisses += o.DeadlineMisses
+	r.DegradedSteps += o.DegradedSteps
+	r.SanitizedFrames += o.SanitizedFrames
+	r.DroppedFrames += o.DroppedFrames
+	r.DuplicateFrames += o.DuplicateFrames
+	r.ReorderedFrames += o.ReorderedFrames
+}
+
+// Interventions returns the total number of interventions of any kind —
+// a quick "did the runner have to do anything?" scalar.
+func (r Robustness) Interventions() int {
+	return r.RecoveredPanics + r.Retries + r.Demotions + r.DeadlineMisses +
+		r.DegradedSteps + r.SanitizedFrames + r.DroppedFrames +
+		r.DuplicateFrames + r.ReorderedFrames
+}
+
+// String renders the non-zero counters compactly for report tables.
+func (r Robustness) String() string {
+	parts := make([]string, 0, 9)
+	add := func(label string, v int) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", label, v))
+		}
+	}
+	add("panics", r.RecoveredPanics)
+	add("retries", r.Retries)
+	add("demotions", r.Demotions)
+	add("deadline_misses", r.DeadlineMisses)
+	add("degraded", r.DegradedSteps)
+	add("sanitized", r.SanitizedFrames)
+	add("dropped", r.DroppedFrames)
+	add("dups", r.DuplicateFrames)
+	add("reordered", r.ReorderedFrames)
+	if len(parts) == 0 {
+		return "clean"
+	}
+	return strings.Join(parts, " ")
 }
 
 // Score evaluates a rendered-set trace for the DOG's target user. rendered
@@ -109,7 +185,8 @@ func Score(room *dataset.Room, dog *occlusion.DOG, rendered [][]bool, beta float
 }
 
 // Mean averages a slice of results (e.g. over several target users); step
-// times are averaged too.
+// times are averaged too. Robustness counters are summed, not averaged —
+// an aggregate reports the total interventions across its episodes.
 func Mean(rs []Result) Result {
 	if len(rs) == 0 {
 		return Result{}
@@ -123,6 +200,7 @@ func Mean(rs []Result) Result {
 		out.StepTime += r.StepTime
 		out.RenderedMean += r.RenderedMean
 		out.Churn += r.Churn
+		out.Robustness.Add(r.Robustness)
 	}
 	n := float64(len(rs))
 	out.Utility /= n

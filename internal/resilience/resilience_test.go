@@ -1,0 +1,503 @@
+package resilience_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"after/internal/baselines"
+	"after/internal/chaos"
+	"after/internal/core"
+	"after/internal/crowd"
+	"after/internal/dataset"
+	"after/internal/geom"
+	"after/internal/metrics"
+	"after/internal/occlusion"
+	"after/internal/resilience"
+	"after/internal/sim"
+	"after/internal/socialgraph"
+)
+
+// buildRoom assembles a small hand-made room with flat utilities so traces
+// accumulate non-zero utility without any training.
+func buildRoom(n, steps int) *dataset.Room {
+	positions := make([]geom.Vec2, n)
+	for i := range positions {
+		// Spread users on a wide circle so their arcs rarely overlap.
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		positions[i] = geom.Vec2{X: 5 + 4*math.Cos(ang), Z: 5 + 4*math.Sin(ang)}
+	}
+	pos := make([][]geom.Vec2, steps+1)
+	for t := range pos {
+		row := make([]geom.Vec2, n)
+		copy(row, positions)
+		pos[t] = row
+	}
+	p := make([]float64, n*n)
+	s := make([]float64, n*n)
+	for v := 0; v < n; v++ {
+		for w := 0; w < n; w++ {
+			if v != w {
+				p[v*n+w] = 0.5
+				s[v*n+w] = 0.5
+			}
+		}
+	}
+	interfaces := make([]occlusion.Interface, n) // all VR
+	return &dataset.Room{
+		Name:         "resilience-test",
+		N:            n,
+		Graph:        socialgraph.New(n),
+		Interfaces:   interfaces,
+		Traj:         &crowd.Trajectories{Pos: pos},
+		P:            p,
+		S:            s,
+		AvatarRadius: occlusion.DefaultAvatarRadius,
+	}
+}
+
+// sliceSource replays an explicit frame list.
+type sliceSource struct {
+	frames []resilience.Frame
+	i      int
+}
+
+func (s *sliceSource) Next() (resilience.Frame, bool) {
+	if s.i >= len(s.frames) {
+		return resilience.Frame{}, false
+	}
+	f := s.frames[s.i]
+	s.i++
+	return f, true
+}
+
+// perfectFrames returns the loss-free frame sequence of a room.
+func perfectFrames(room *dataset.Room) []resilience.Frame {
+	out := make([]resilience.Frame, room.Traj.Steps())
+	for t := range out {
+		row := make([]geom.Vec2, room.N)
+		copy(row, room.Traj.Pos[t])
+		out[t] = resilience.Frame{Index: t, Positions: row}
+	}
+	return out
+}
+
+// fixedRec renders the first k non-target users every step.
+type fixedRec struct{ k int }
+
+func (f fixedRec) Name() string { return "Fixed" }
+func (f fixedRec) StartEpisode(room *dataset.Room, target int) sim.Stepper {
+	return &fixedStepper{n: room.N, target: target, k: f.k}
+}
+
+type fixedStepper struct{ n, target, k int }
+
+func (s *fixedStepper) Step(t int, frame *occlusion.StaticGraph) []bool {
+	out := make([]bool, s.n)
+	picked := 0
+	for w := 0; w < s.n && picked < s.k; w++ {
+		if w == s.target {
+			continue
+		}
+		out[w] = true
+		picked++
+	}
+	return out
+}
+
+// faultyRec wires a per-call hook in front of a fixedRec stepper: the hook
+// can panic or sleep to simulate stepper failures.
+type faultyRec struct {
+	k      int
+	before func(call int)
+}
+
+func (f *faultyRec) Name() string { return "Faulty" }
+func (f *faultyRec) StartEpisode(room *dataset.Room, target int) sim.Stepper {
+	return &faultyTestStepper{inner: &fixedStepper{n: room.N, target: target, k: f.k}, before: f.before}
+}
+
+type faultyTestStepper struct {
+	inner  *fixedStepper
+	before func(call int)
+	calls  int
+}
+
+func (s *faultyTestStepper) Step(t int, frame *occlusion.StaticGraph) []bool {
+	s.calls++
+	if s.before != nil {
+		s.before(s.calls)
+	}
+	return s.inner.Step(t, frame)
+}
+
+func dogFor(room *dataset.Room, target int) *occlusion.DOG {
+	return occlusion.BuildDOG(target, room.Traj, room.AvatarRadius)
+}
+
+// TestPerfectSourceMatchesPlainHarness: the resilient runner over a perfect
+// source must reproduce the plain harness trace bit-for-bit with zero
+// interventions.
+func TestPerfectSourceMatchesPlainHarness(t *testing.T) {
+	room := buildRoom(12, 20)
+	dog := dogFor(room, 0)
+	rec := baselines.Nearest{K: 4}
+
+	want, wantTrace, err := sim.RunEpisodeTrace(rec, room, dog, 0.5)
+	if err != nil {
+		t.Fatalf("plain harness: %v", err)
+	}
+	got, gotTrace, err := resilience.RunEpisodeTrace(rec, room, dog, nil, 0.5, resilience.Config{})
+	if err != nil {
+		t.Fatalf("resilient runner: %v", err)
+	}
+	if len(gotTrace) != len(wantTrace) {
+		t.Fatalf("trace length %d, want %d", len(gotTrace), len(wantTrace))
+	}
+	for ti := range wantTrace {
+		for w := range wantTrace[ti] {
+			if gotTrace[ti][w] != wantTrace[ti][w] {
+				t.Fatalf("trace diverges at step %d user %d", ti, w)
+			}
+		}
+	}
+	if got.Utility != want.Utility {
+		t.Errorf("utility %v, want %v", got.Utility, want.Utility)
+	}
+	if n := got.Robustness.Interventions(); n != 0 {
+		t.Errorf("perfect source caused %d interventions: %v", n, got.Robustness)
+	}
+}
+
+// TestInputFaultKinds exercises each input-stream fault in isolation.
+func TestInputFaultKinds(t *testing.T) {
+	room := buildRoom(10, 10)
+	dog := dogFor(room, 0)
+
+	cases := []struct {
+		name   string
+		mutate func(frames []resilience.Frame) []resilience.Frame
+		check  func(t *testing.T, r metrics.Robustness)
+	}{
+		{
+			name: "drop",
+			mutate: func(fs []resilience.Frame) []resilience.Frame {
+				return append(fs[:3:3], fs[4:]...) // frame 3 vanishes
+			},
+			check: func(t *testing.T, r metrics.Robustness) {
+				if r.DroppedFrames != 1 || r.DegradedSteps != 1 {
+					t.Errorf("dropped=%d degraded=%d, want 1/1", r.DroppedFrames, r.DegradedSteps)
+				}
+			},
+		},
+		{
+			name: "duplicate",
+			mutate: func(fs []resilience.Frame) []resilience.Frame {
+				out := append([]resilience.Frame{}, fs[:4]...)
+				out = append(out, fs[3]) // frame 3 delivered twice
+				return append(out, fs[4:]...)
+			},
+			check: func(t *testing.T, r metrics.Robustness) {
+				if r.DuplicateFrames != 1 {
+					t.Errorf("duplicates=%d, want 1", r.DuplicateFrames)
+				}
+				if r.DroppedFrames != 0 {
+					t.Errorf("dropped=%d, want 0", r.DroppedFrames)
+				}
+			},
+		},
+		{
+			name: "reorder",
+			mutate: func(fs []resilience.Frame) []resilience.Frame {
+				fs[2], fs[3] = fs[3], fs[2] // frames 2 and 3 swap
+				return fs
+			},
+			check: func(t *testing.T, r metrics.Robustness) {
+				if r.ReorderedFrames != 1 {
+					t.Errorf("reordered=%d, want 1", r.ReorderedFrames)
+				}
+				// The early frame 3 bridges step 2; frame 2 then arrives
+				// stale and is discarded.
+				if r.DroppedFrames != 1 || r.DegradedSteps != 1 {
+					t.Errorf("dropped=%d degraded=%d, want 1/1", r.DroppedFrames, r.DegradedSteps)
+				}
+			},
+		},
+		{
+			name: "nan-position",
+			mutate: func(fs []resilience.Frame) []resilience.Frame {
+				fs[5].Positions[3].X = math.NaN()
+				fs[6].Positions[4].Z = math.Inf(1)
+				return fs
+			},
+			check: func(t *testing.T, r metrics.Robustness) {
+				if r.SanitizedFrames != 2 {
+					t.Errorf("sanitized=%d, want 2", r.SanitizedFrames)
+				}
+			},
+		},
+		{
+			name: "churn-short-frame",
+			mutate: func(fs []resilience.Frame) []resilience.Frame {
+				fs[4].Positions = fs[4].Positions[:6] // 4 users churned away
+				return fs
+			},
+			check: func(t *testing.T, r metrics.Robustness) {
+				if r.SanitizedFrames != 1 {
+					t.Errorf("sanitized=%d, want 1", r.SanitizedFrames)
+				}
+			},
+		},
+		{
+			name: "exhausted-stream",
+			mutate: func(fs []resilience.Frame) []resilience.Frame {
+				return fs[:5] // source dies halfway
+			},
+			check: func(t *testing.T, r metrics.Robustness) {
+				if r.DroppedFrames != 6 || r.DegradedSteps != 6 {
+					t.Errorf("dropped=%d degraded=%d, want 6/6", r.DroppedFrames, r.DegradedSteps)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := &sliceSource{frames: tc.mutate(perfectFrames(room))}
+			res, trace, err := resilience.RunEpisodeTrace(fixedRec{k: 3}, room, dog, src, 0.5, resilience.Config{})
+			if err != nil {
+				t.Fatalf("RunEpisodeTrace: %v", err)
+			}
+			if len(trace) != len(dog.Frames) {
+				t.Fatalf("trace has %d steps, want %d", len(trace), len(dog.Frames))
+			}
+			if math.IsNaN(res.Utility) || res.Utility <= 0 {
+				t.Errorf("utility %v not positive and finite", res.Utility)
+			}
+			tc.check(t, res.Robustness)
+		})
+	}
+}
+
+// TestTransientPanicRetries: a single panicking call is retried and the
+// episode continues on the same stepper.
+func TestTransientPanicRetries(t *testing.T) {
+	room := buildRoom(8, 10)
+	dog := dogFor(room, 0)
+	rec := &faultyRec{k: 3, before: func(call int) {
+		if call == 4 { // one transient panic mid-episode
+			panic("transient")
+		}
+	}}
+	cfg := resilience.Config{MaxRetries: 2}
+	res, _, err := resilience.RunEpisodeTrace(rec, room, dog, nil, 0.5, cfg)
+	if err != nil {
+		t.Fatalf("RunEpisodeTrace: %v", err)
+	}
+	r := res.Robustness
+	if r.RecoveredPanics != 1 || r.Retries != 1 || r.Demotions != 0 {
+		t.Errorf("panics=%d retries=%d demotions=%d, want 1/1/0", r.RecoveredPanics, r.Retries, r.Demotions)
+	}
+	if r.DegradedSteps != 0 {
+		t.Errorf("degraded=%d, want 0 (retry succeeded in time)", r.DegradedSteps)
+	}
+}
+
+// TestPersistentPanicDemotes: a stepper that always panics exhausts its
+// retries and demotes to the fallback, which finishes the episode.
+func TestPersistentPanicDemotes(t *testing.T) {
+	room := buildRoom(8, 10)
+	dog := dogFor(room, 0)
+	rec := &faultyRec{k: 3, before: func(int) { panic("permanent") }}
+	cfg := resilience.Config{MaxRetries: 2, Fallbacks: []sim.Recommender{fixedRec{k: 3}}}
+	res, _, err := resilience.RunEpisodeTrace(rec, room, dog, nil, 0.5, cfg)
+	if err != nil {
+		t.Fatalf("RunEpisodeTrace: %v", err)
+	}
+	r := res.Robustness
+	if r.Demotions != 1 {
+		t.Errorf("demotions=%d, want 1", r.Demotions)
+	}
+	if r.RecoveredPanics != 3 { // initial + 2 retries
+		t.Errorf("recovered panics=%d, want 3", r.RecoveredPanics)
+	}
+	if res.Utility <= 0 {
+		t.Errorf("fallback should still earn utility, got %v", res.Utility)
+	}
+	if r.DegradedSteps != 0 {
+		t.Errorf("degraded=%d, want 0 (fallback takes over the same frame)", r.DegradedSteps)
+	}
+}
+
+// TestChainExhaustionHoldsLastSet: with no fallbacks, a dead primary means
+// every step serves the hold state (all-false before any good set).
+func TestChainExhaustionHoldsLastSet(t *testing.T) {
+	room := buildRoom(8, 10)
+	dog := dogFor(room, 0)
+	rec := &faultyRec{k: 3, before: func(int) { panic("dead") }}
+	res, trace, err := resilience.RunEpisodeTrace(rec, room, dog, nil, 0.5, resilience.Config{})
+	if err != nil {
+		t.Fatalf("RunEpisodeTrace: %v", err)
+	}
+	r := res.Robustness
+	if r.Demotions != 1 {
+		t.Errorf("demotions=%d, want 1", r.Demotions)
+	}
+	if r.DegradedSteps != len(dog.Frames) {
+		t.Errorf("degraded=%d, want %d", r.DegradedSteps, len(dog.Frames))
+	}
+	for ti, row := range trace {
+		for w, b := range row {
+			if b {
+				t.Fatalf("step %d rendered user %d despite dead chain", ti, w)
+			}
+		}
+	}
+}
+
+// TestDeadlineMissServesStale: a latency spike past the deadline degrades
+// that step but keeps the stepper when it finishes within the grace period.
+func TestDeadlineMissServesStale(t *testing.T) {
+	room := buildRoom(8, 10)
+	dog := dogFor(room, 0)
+	rec := &faultyRec{k: 3, before: func(call int) {
+		if call == 3 {
+			time.Sleep(80 * time.Millisecond)
+		}
+	}}
+	cfg := resilience.Config{StepDeadline: 20 * time.Millisecond, AbandonAfter: 2 * time.Second}
+	res, _, err := resilience.RunEpisodeTrace(rec, room, dog, nil, 0.5, cfg)
+	if err != nil {
+		t.Fatalf("RunEpisodeTrace: %v", err)
+	}
+	r := res.Robustness
+	if r.DeadlineMisses != 1 || r.DegradedSteps != 1 {
+		t.Errorf("misses=%d degraded=%d, want 1/1", r.DeadlineMisses, r.DegradedSteps)
+	}
+	if r.Demotions != 0 {
+		t.Errorf("demotions=%d, want 0 (straggler finished within grace)", r.Demotions)
+	}
+}
+
+// TestDeadlineAbandonDemotes: a stepper hung far past the grace period is
+// written off and the fallback serves the rest of the episode.
+func TestDeadlineAbandonDemotes(t *testing.T) {
+	room := buildRoom(8, 10)
+	dog := dogFor(room, 0)
+	rec := &faultyRec{k: 3, before: func(call int) {
+		if call == 3 {
+			time.Sleep(500 * time.Millisecond)
+		}
+	}}
+	cfg := resilience.Config{
+		StepDeadline: 10 * time.Millisecond,
+		AbandonAfter: 40 * time.Millisecond,
+		Fallbacks:    []sim.Recommender{fixedRec{k: 3}},
+	}
+	res, _, err := resilience.RunEpisodeTrace(rec, room, dog, nil, 0.5, cfg)
+	if err != nil {
+		t.Fatalf("RunEpisodeTrace: %v", err)
+	}
+	r := res.Robustness
+	if r.DeadlineMisses != 1 || r.Demotions != 1 {
+		t.Errorf("misses=%d demotions=%d, want 1/1", r.DeadlineMisses, r.Demotions)
+	}
+	if res.Utility <= 0 {
+		t.Errorf("fallback should still earn utility, got %v", res.Utility)
+	}
+}
+
+// TestEmptyEpisodeTypedError: both harnesses reject zero-frame episodes
+// with the typed sentinel instead of dividing by zero.
+func TestEmptyEpisodeTypedError(t *testing.T) {
+	room := buildRoom(8, 5)
+	empty := &occlusion.DOG{Target: 0}
+	if _, _, err := resilience.RunEpisodeTrace(fixedRec{k: 2}, room, empty, nil, 0.5, resilience.Config{}); !errors.Is(err, sim.ErrEmptyEpisode) {
+		t.Errorf("resilience error = %v, want ErrEmptyEpisode", err)
+	}
+	if _, _, err := sim.RunEpisodeTrace(fixedRec{k: 2}, room, empty, 0.5); !errors.Is(err, sim.ErrEmptyEpisode) {
+		t.Errorf("sim error = %v, want ErrEmptyEpisode", err)
+	}
+}
+
+// TestMalformedOutputDegrades: steppers returning nil or wrong-length sets
+// degrade the step instead of crashing the scorer.
+func TestMalformedOutputDegrades(t *testing.T) {
+	room := buildRoom(8, 6)
+	dog := dogFor(room, 0)
+	bad := sim.Func{RecName: "Bad", Start: func(r *dataset.Room, target int) sim.Stepper {
+		return badStepper{n: r.N}
+	}}
+	res, _, err := resilience.RunEpisodeTrace(bad, room, dog, nil, 0.5, resilience.Config{})
+	if err != nil {
+		t.Fatalf("RunEpisodeTrace: %v", err)
+	}
+	if res.Robustness.DegradedSteps == 0 {
+		t.Errorf("expected degraded steps for malformed output, got %v", res.Robustness)
+	}
+}
+
+type badStepper struct{ n int }
+
+func (s badStepper) Step(t int, frame *occlusion.StaticGraph) []bool {
+	if t%2 == 0 {
+		return nil // malformed
+	}
+	return make([]bool, s.n+3) // also malformed
+}
+
+// TestChaosSoakPOSHGNNRetention is the seeded chaos soak: a quick-trained
+// POSHGNN must retain >= 80% of its clean AFTER utility at a 10% uniform
+// fault rate when served by the resilient runner.
+func TestChaosSoakPOSHGNNRetention(t *testing.T) {
+	room, err := dataset.Generate(dataset.Config{
+		Kind: dataset.Timik, Seed: 99, RoomUsers: 30, PlatformUsers: 300, T: 40,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	m := core.New(core.Config{UseMIA: true, UseLWP: true, Epochs: 2, Seed: 1})
+	if _, err := m.Train([]core.Episode{{Room: room, Target: 0}, {Room: room, Target: 10}}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	rec := sim.Func{RecName: "POSHGNN", Start: func(r *dataset.Room, target int) sim.Stepper {
+		return m.StartEpisode(r, target)
+	}}
+	targets := sim.DefaultTargets(room, 2)
+
+	clean, err := sim.Evaluate([]sim.Recommender{rec}, room, targets, 0.5)
+	if err != nil {
+		t.Fatalf("clean evaluate: %v", err)
+	}
+	ccfg := chaos.Uniform(1234, 0.10)
+	ccfg.LatencySpike = 100 * time.Millisecond
+	rcfg := resilience.Config{
+		// Generous deadline so only injected spikes miss it, even under
+		// the race detector on slow CI machines.
+		StepDeadline: 50 * time.Millisecond,
+		MaxRetries:   3,
+		RetryBackoff: 100 * time.Microsecond,
+		Fallbacks:    []sim.Recommender{chaos.WrapRecommender(baselines.Nearest{}, ccfg)},
+	}
+	faulty, err := resilience.Evaluate(
+		[]sim.Recommender{chaos.WrapRecommender(rec, ccfg)},
+		room, targets, 0.5, rcfg, chaos.SourceFactory(room.Traj, ccfg))
+	if err != nil {
+		t.Fatalf("faulty evaluate: %v", err)
+	}
+	cleanU := clean["POSHGNN"].Utility
+	faultyU := faulty["POSHGNN"].Utility
+	if cleanU <= 0 {
+		t.Fatalf("clean utility %v not positive; soak baseline is meaningless", cleanU)
+	}
+	retention := faultyU / cleanU
+	t.Logf("soak: clean=%.2f faulty=%.2f retention=%.1f%% counters: %v",
+		cleanU, faultyU, 100*retention, faulty["POSHGNN"].Robustness)
+	if retention < 0.8 {
+		t.Errorf("retention %.1f%% < 80%% at 10%% fault rate", 100*retention)
+	}
+	r := faulty["POSHGNN"].Robustness
+	if r.Interventions() == 0 {
+		t.Errorf("soak ran with zero interventions — injector inactive?")
+	}
+}

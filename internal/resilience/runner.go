@@ -1,0 +1,379 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+
+	"after/internal/dataset"
+	"after/internal/geom"
+	"after/internal/metrics"
+	"after/internal/occlusion"
+	"after/internal/sim"
+)
+
+// runner holds the mutable state of one resilient episode.
+type runner struct {
+	room   *dataset.Room
+	target int
+	cfg    Config
+	src    Source
+
+	san      *sanitizer
+	counters Counters
+
+	chain    []sim.Recommender
+	chainIdx int
+	stepper  sim.Stepper // nil once the whole chain is exhausted
+
+	pending      *Frame // buffered future frame (arrived ahead of time)
+	lastIndex    int    // last consumed input index (-1 before the first)
+	lastRendered []bool // last good rendered set (the hold-state fallback)
+	latePanics   int    // consecutive post-deadline panics on the active stepper
+}
+
+// stepResult is what a protected Step call produced.
+type stepResult struct {
+	rendered []bool
+	panicErr error
+}
+
+// RunEpisode is RunEpisodeTrace without the trace.
+func RunEpisode(rec sim.Recommender, room *dataset.Room, truth *occlusion.DOG, src Source, beta float64, cfg Config) (sim.EpisodeResult, error) {
+	res, _, err := RunEpisodeTrace(rec, room, truth, src, beta, cfg)
+	return res, err
+}
+
+// RunEpisodeTrace drives rec over the (possibly faulty) frame source and
+// scores the resulting trace against the ground-truth DOG, so stale or
+// repaired rendered sets pay their real utility cost. It mirrors
+// sim.RunEpisodeTrace but never lets a bad frame or a bad stepper kill the
+// episode: the returned Result carries the robustness counters describing
+// every intervention.
+func RunEpisodeTrace(rec sim.Recommender, room *dataset.Room, truth *occlusion.DOG, src Source, beta float64, cfg Config) (sim.EpisodeResult, [][]bool, error) {
+	if truth.Target < 0 || truth.Target >= room.N {
+		return sim.EpisodeResult{}, nil, fmt.Errorf("resilience: target %d out of range", truth.Target)
+	}
+	steps := len(truth.Frames)
+	if steps == 0 {
+		return sim.EpisodeResult{}, nil, fmt.Errorf("%w (target %d)", sim.ErrEmptyEpisode, truth.Target)
+	}
+	if src == nil {
+		src = NewTrajectorySource(room.Traj)
+	}
+	r := &runner{
+		room:         room,
+		target:       truth.Target,
+		cfg:          cfg,
+		src:          src,
+		san:          newSanitizer(room.N),
+		chain:        append([]sim.Recommender{rec}, cfg.Fallbacks...),
+		lastIndex:    -1,
+		lastRendered: make([]bool, room.N),
+	}
+	r.stepper = r.chain[0].StartEpisode(room, truth.Target)
+
+	rendered := make([][]bool, steps)
+	var elapsed time.Duration
+	for t := 0; t < steps; t++ {
+		raw, ok := r.frameFor(t)
+		if !ok {
+			// Gap or exhausted stream: bridge with the last rendered set.
+			r.counters.DroppedFrames++
+			rendered[t] = r.degrade()
+			continue
+		}
+		pos, repaired := r.san.sanitize(raw)
+		if repaired {
+			r.counters.SanitizedFrames++
+		}
+		frame := occlusion.BuildStatic(r.target, pos, room.AvatarRadius)
+		if r.stepper == nil {
+			// Whole chain exhausted earlier: permanent hold-last-set.
+			rendered[t] = r.degrade()
+			continue
+		}
+		start := time.Now()
+		out, ok := r.protectedStep(t, frame)
+		elapsed += time.Since(start)
+		if !ok {
+			rendered[t] = r.degrade()
+			continue
+		}
+		rendered[t] = r.acceptOutput(out)
+	}
+
+	res, err := metrics.Score(room, truth, rendered, beta)
+	if err != nil {
+		return sim.EpisodeResult{}, nil, err
+	}
+	res.StepTime = elapsed / time.Duration(steps)
+	res.Robustness = r.counters
+	return sim.EpisodeResult{Recommender: rec.Name(), Target: truth.Target, Result: res}, rendered, nil
+}
+
+// degrade serves the current step from the last good rendered set.
+func (r *runner) degrade() []bool {
+	r.counters.DegradedSteps++
+	out := make([]bool, len(r.lastRendered))
+	copy(out, r.lastRendered)
+	return out
+}
+
+// acceptOutput validates a fresh rendered set, repairing a self-rendered
+// target and degrading on structurally broken output.
+func (r *runner) acceptOutput(out []bool) []bool {
+	if len(out) != r.room.N {
+		// A stepper returning a malformed set is as bad as one that
+		// panicked for this frame: serve stale instead.
+		return r.degrade()
+	}
+	if out[r.target] {
+		fixed := make([]bool, len(out))
+		copy(fixed, out)
+		fixed[r.target] = false
+		out = fixed
+	}
+	copy(r.lastRendered, out)
+	return out
+}
+
+// frameFor returns the raw positions claimed for output step t, consuming
+// the source as needed. ok=false means the frame is missing (gap in the
+// index sequence or exhausted stream) and the step must be bridged.
+func (r *runner) frameFor(t int) ([]geom.Vec2, bool) {
+	if r.pending != nil {
+		if r.pending.Index > t {
+			return nil, false // still ahead: this step's frame was dropped
+		}
+		f := *r.pending
+		r.pending = nil
+		if f.Index == t {
+			r.lastIndex = t
+			return f.Positions, true
+		}
+		// Buffered frame regressed below t (can only happen with Index
+		// collisions); discard as stale and fall through to pulling.
+		r.classifyStale(f.Index)
+	}
+	for {
+		f, ok := r.src.Next()
+		if !ok {
+			return nil, false
+		}
+		switch {
+		case f.Index == t:
+			r.lastIndex = t
+			return f.Positions, true
+		case f.Index < t:
+			r.classifyStale(f.Index)
+			// keep pulling
+		default: // f.Index > t: a gap — buffer the future frame
+			r.pending = &f
+			return nil, false
+		}
+	}
+}
+
+// classifyStale books a frame that arrived at or below an index the runner
+// already served: an exact repeat of the last consumed index is a
+// duplicate, anything else arrived out of order.
+func (r *runner) classifyStale(index int) {
+	if index == r.lastIndex {
+		r.counters.DuplicateFrames++
+	} else {
+		r.counters.ReorderedFrames++
+	}
+}
+
+// protectedStep runs Step under panic recovery, the frame deadline, and
+// retry-with-backoff, demoting down the fallback chain on permanent
+// failure. ok=false means this step must be served from stale state (the
+// current stepper may or may not survive, per the demotion rules).
+func (r *runner) protectedStep(t int, frame *occlusion.StaticGraph) ([]bool, bool) {
+	for r.stepper != nil {
+		retriesLeft := r.cfg.MaxRetries
+		for attempt := 0; ; attempt++ {
+			out, verdict := r.issueStep(t, frame)
+			switch verdict {
+			case stepOK:
+				r.latePanics = 0
+				return out, true
+			case stepPanicked:
+				r.counters.RecoveredPanics++
+				if retriesLeft > 0 {
+					retriesLeft--
+					r.counters.Retries++
+					r.backoff(attempt)
+					continue
+				}
+				r.demote()
+				// The fresh fallback (if any) gets a shot at this frame.
+			case stepDeadlineKept:
+				// Missed the deadline but the straggler finished within
+				// the grace period: serve stale now, keep the stepper.
+				r.counters.DeadlineMisses++
+				r.latePanics = 0
+				return nil, false
+			case stepDeadlineLatePanic:
+				// The straggler both missed the deadline and panicked. A
+				// transient panic on an already-missed frame doesn't merit
+				// instant demotion — the frame is served stale either way —
+				// but a stepper that keeps dying late is written off once
+				// it exhausts the retry budget in consecutive misses.
+				r.counters.DeadlineMisses++
+				r.counters.RecoveredPanics++
+				r.latePanics++
+				if r.latePanics > r.cfg.MaxRetries {
+					r.demote()
+				}
+				return nil, false
+			case stepDeadlineAbandoned:
+				// Straggler still running after the grace period: it is
+				// written off (the goroutine drains harmlessly) and the
+				// chain demotes for future steps.
+				r.counters.DeadlineMisses++
+				r.demote()
+				return nil, false
+			}
+			break // demoted: restart the retry budget on the new stepper
+		}
+	}
+	return nil, false
+}
+
+// demote advances the fallback chain, starting the next recommender fresh
+// at the current episode position, or enters permanent hold-last-set mode
+// when the chain is exhausted.
+func (r *runner) demote() {
+	r.counters.Demotions++
+	r.chainIdx++
+	if r.chainIdx < len(r.chain) {
+		r.stepper = r.chain[r.chainIdx].StartEpisode(r.room, r.target)
+	} else {
+		r.stepper = nil
+	}
+}
+
+// backoff sleeps the exponential retry backoff for the given attempt.
+func (r *runner) backoff(attempt int) {
+	if r.cfg.RetryBackoff <= 0 {
+		return
+	}
+	if attempt > 6 {
+		attempt = 6 // cap the exponent; backoff is jitter-free and bounded
+	}
+	time.Sleep(r.cfg.RetryBackoff << uint(attempt))
+}
+
+// stepVerdict classifies one issued Step call.
+type stepVerdict int
+
+const (
+	stepOK stepVerdict = iota
+	stepPanicked
+	stepDeadlineKept
+	stepDeadlineLatePanic
+	stepDeadlineAbandoned
+)
+
+// issueStep performs one Step call on the active stepper, inline when no
+// deadline is configured, otherwise in a goroutine raced against the
+// deadline timer. The result channel is buffered so an abandoned straggler
+// can always complete its send and be collected.
+func (r *runner) issueStep(t int, frame *occlusion.StaticGraph) ([]bool, stepVerdict) {
+	if r.cfg.StepDeadline <= 0 {
+		out, panicErr := safeStep(r.stepper, t, frame)
+		if panicErr != nil {
+			return nil, stepPanicked
+		}
+		return out, stepOK
+	}
+	ch := make(chan stepResult, 1)
+	st := r.stepper
+	go func() {
+		var res stepResult
+		defer func() {
+			if p := recover(); p != nil {
+				res = stepResult{panicErr: fmt.Errorf("resilience: step %d panicked: %v", t, p)}
+			}
+			ch <- res
+		}()
+		res.rendered = st.Step(t, frame)
+	}()
+	deadline := time.NewTimer(r.cfg.StepDeadline)
+	defer deadline.Stop()
+	select {
+	case res := <-ch:
+		if res.panicErr != nil {
+			return nil, stepPanicked
+		}
+		return res.rendered, stepOK
+	case <-deadline.C:
+	}
+	// Deadline missed: wait out the grace period for the straggler.
+	grace := r.cfg.abandonAfter() - r.cfg.StepDeadline
+	if grace < 0 {
+		grace = 0
+	}
+	graceTimer := time.NewTimer(grace)
+	defer graceTimer.Stop()
+	select {
+	case res := <-ch:
+		if res.panicErr != nil {
+			// Late panic: the stepper both blew the deadline and died;
+			// protectedStep decides whether that escalates to a demotion.
+			return nil, stepDeadlineLatePanic
+		}
+		// Late success: the result is stale and discarded, but the
+		// stepper's recurrent state advanced, so it keeps its job.
+		return nil, stepDeadlineKept
+	case <-graceTimer.C:
+		return nil, stepDeadlineAbandoned
+	}
+}
+
+// safeStep calls Step inline, converting a panic into an error.
+func safeStep(st sim.Stepper, t int, frame *occlusion.StaticGraph) (out []bool, panicErr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = nil
+			panicErr = fmt.Errorf("resilience: step %d panicked: %v", t, p)
+		}
+	}()
+	return st.Step(t, frame), nil
+}
+
+// Evaluate mirrors sim.Evaluate through the resilient runner: each
+// recommender runs over the same targets, each episode fed by source. The
+// source factory is called once per (recommender, target) pair and must
+// return a deterministic stream per target so every recommender faces the
+// identical fault sequence; nil uses the perfect trajectory source.
+func Evaluate(recs []sim.Recommender, room *dataset.Room, targets []int, beta float64, cfg Config, source func(target int) Source) (map[string]metrics.Result, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("resilience: no targets")
+	}
+	dogs := make([]*occlusion.DOG, len(targets))
+	for i, target := range targets {
+		if target < 0 || target >= room.N {
+			return nil, fmt.Errorf("resilience: target %d out of range", target)
+		}
+		dogs[i] = occlusion.BuildDOG(target, room.Traj, room.AvatarRadius)
+	}
+	out := make(map[string]metrics.Result, len(recs))
+	for _, rec := range recs {
+		rs := make([]metrics.Result, 0, len(targets))
+		for i, target := range targets {
+			var src Source
+			if source != nil {
+				src = source(target)
+			}
+			er, err := RunEpisode(rec, room, dogs[i], src, beta, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("resilience: %s on target %d: %w", rec.Name(), target, err)
+			}
+			rs = append(rs, er.Result)
+		}
+		out[rec.Name()] = metrics.Mean(rs)
+	}
+	return out, nil
+}

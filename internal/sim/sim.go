@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -12,6 +13,11 @@ import (
 	"after/internal/metrics"
 	"after/internal/occlusion"
 )
+
+// ErrEmptyEpisode is returned (wrapped) when an episode's DOG has zero
+// frames: there is nothing to step, and the mean-step-time division would
+// otherwise panic. Callers detect it with errors.Is.
+var ErrEmptyEpisode = errors.New("sim: episode has no frames")
 
 // Stepper produces the rendered set for consecutive time steps of one
 // episode. Implementations carry whatever recurrent state they need.
@@ -63,6 +69,9 @@ func RunEpisode(rec Recommender, room *dataset.Room, dog *occlusion.DOG, beta fl
 func RunEpisodeTrace(rec Recommender, room *dataset.Room, dog *occlusion.DOG, beta float64) (EpisodeResult, [][]bool, error) {
 	if dog.Target < 0 || dog.Target >= room.N {
 		return EpisodeResult{}, nil, fmt.Errorf("sim: target %d out of range", dog.Target)
+	}
+	if len(dog.Frames) == 0 {
+		return EpisodeResult{}, nil, fmt.Errorf("%w (target %d)", ErrEmptyEpisode, dog.Target)
 	}
 	stepper := rec.StartEpisode(room, dog.Target)
 	rendered := make([][]bool, len(dog.Frames))
