@@ -14,6 +14,7 @@ package after_test
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"sync"
@@ -21,8 +22,10 @@ import (
 
 	"after"
 	"after/internal/exp"
+	"after/internal/geom"
 	"after/internal/mwis"
 	"after/internal/occlusion"
+	"after/internal/parallel"
 )
 
 func benchOptions() exp.Options {
@@ -142,6 +145,81 @@ func BenchmarkCOMURNetStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sess.Step(i, dog.At(i%dog.T()))
+	}
+}
+
+// BenchmarkBuildStatic contrasts the endpoint-sort sweep converter against
+// the retained O(N²) brute-force reference on one crowded 500-user frame —
+// the asymptotic win that makes large sensitivity sweeps (Table VI's N=500
+// row) cheap.
+func BenchmarkBuildStatic(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	positions := make([]geom.Vec2, 500)
+	for i := range positions {
+		positions[i] = geom.Vec2{X: rng.Float64()*16 - 8, Z: rng.Float64()*16 - 8}
+	}
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			occlusion.BuildStatic(0, positions, occlusion.DefaultAvatarRadius)
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			occlusion.BuildStaticBrute(0, positions, occlusion.DefaultAvatarRadius)
+		}
+	})
+}
+
+// BenchmarkBuildDOG measures the full trajectory→DOG conversion at paper
+// room size with the worker pool at one worker versus the default limit.
+func BenchmarkBuildDOG(b *testing.B) {
+	room, err := paperRoom()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			parallel.WithLimit(workers, func() {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					after.BuildDOG(0, room.Traj, room.AvatarRadius)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkEvaluateParallel measures the full evaluation fan-out (all
+// non-trained recommenders × 4 targets) sequentially versus on the pool.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	room, err := paperRoom()
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := []after.Recommender{
+		after.NewRandomBaseline(0, 5),
+		after.NewNearestBaseline(0),
+	}
+	targets := after.DefaultTargets(room, 4)
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			parallel.WithLimit(workers, func() {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := after.Evaluate(recs, room, targets, 0.5); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
 }
 

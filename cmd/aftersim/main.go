@@ -10,33 +10,79 @@
 //	aftersim -exp table8            # Table VIII (correlations)
 //	aftersim -exp fig4              # Fig. 4    (user study panels)
 //	aftersim -exp chaos             # chaos sweep (utility retention under faults)
+//	aftersim -exp bench             # performance baseline (writes BENCH_*.json)
 //	aftersim -exp all               # everything, in order
 //
 // -scale shrinks rooms and horizons proportionally (1 = paper scale, which
 // trains several models and can take many minutes; 0.3 reproduces the same
 // shapes in a coffee break). -quick collapses the model-selection grid to a
 // single configuration.
+//
+// Performance knobs: -parallel N caps the worker pool (0 = GOMAXPROCS, 1 =
+// fully sequential); -cpuprofile / -memprofile write pprof profiles of the
+// run. `-exp bench` records the wall-clock baseline to BENCH_baseline.json
+// on first run and BENCH_latest.json afterwards, so a baseline refresh is an
+// explicit delete-and-rerun.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"after/internal/exp"
+	"after/internal/parallel"
 )
 
-func main() {
+// main defers to realMain so the profile-flushing defers run before the
+// process exits (os.Exit would skip them).
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	var (
-		expID = flag.String("exp", "all", "experiment id: table2..table8, fig4, chaos, or all")
-		scale = flag.Float64("scale", 1.0, "room/horizon scale factor (1 = paper scale)")
-		quick = flag.Bool("quick", false, "single training configuration instead of the selection grid")
-		seed  = flag.Int64("seed", 0, "seed offset for all generators and trainers")
+		expID      = flag.String("exp", "all", "experiment id: table2..table8, fig4, chaos, bench, or all")
+		scale      = flag.Float64("scale", 1.0, "room/horizon scale factor (1 = paper scale)")
+		quick      = flag.Bool("quick", false, "single training configuration instead of the selection grid")
+		seed       = flag.Int64("seed", 0, "seed offset for all generators and trainers")
+		workers    = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 	opts := exp.Options{Scale: *scale, Quick: *quick, Seed: *seed}
+	parallel.SetLimit(*workers)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aftersim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "aftersim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aftersim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "aftersim: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	runners := map[string]func(exp.Options) (string, error){
 		"table2": tableRunner(exp.Table2),
@@ -66,6 +112,7 @@ func main() {
 			}
 			return r.Format(), nil
 		},
+		"bench": runBench,
 	}
 	order := []string{"table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig4", "chaos"}
 
@@ -76,19 +123,38 @@ func main() {
 	for _, id := range ids {
 		run, ok := runners[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "aftersim: unknown experiment %q (want one of %s, all)\n",
+			fmt.Fprintf(os.Stderr, "aftersim: unknown experiment %q (want one of %s, bench, all)\n",
 				id, strings.Join(order, ", "))
-			os.Exit(2)
+			return 2
 		}
 		start := time.Now()
 		out, err := run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aftersim: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(out)
 		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+// runBench measures the performance baseline and persists it: the first run
+// in a directory claims BENCH_baseline.json, later runs write
+// BENCH_latest.json so the checked-in baseline is never clobbered silently.
+func runBench(o exp.Options) (string, error) {
+	r, err := exp.RunBench(o)
+	if err != nil {
+		return "", err
+	}
+	path := "BENCH_baseline.json"
+	if _, err := os.Stat(path); err == nil {
+		path = "BENCH_latest.json"
+	}
+	if err := r.WriteJSON(path); err != nil {
+		return "", err
+	}
+	return r.Format() + "wrote " + path, nil
 }
 
 func tableRunner(f func(exp.Options) (*exp.Table, error)) func(exp.Options) (string, error) {

@@ -9,6 +9,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/nn"
 	"after/internal/occlusion"
+	"after/internal/parallel"
 	"after/internal/sim"
 	"after/internal/tensor"
 )
@@ -198,6 +199,18 @@ func poshgnnLoss(r, prevR *tensor.Tensor, agg *core.MIAOutput, alpha, beta float
 	return tensor.AddScalar(loss, gamma)
 }
 
+// episodeDOGs converts every episode's trajectory once (the DOG is a pure
+// function of the episode) with the conversions fanned out over the worker
+// pool, so the epoch loops can reuse them instead of rebuilding per epoch.
+func episodeDOGs(episodes []core.Episode) []*occlusion.DOG {
+	dogs := make([]*occlusion.DOG, len(episodes))
+	parallel.ForEach(len(episodes), func(i int) {
+		ep := episodes[i]
+		dogs[i] = occlusion.BuildDOG(ep.Target, ep.Room.Traj, ep.Room.AvatarRadius)
+	})
+	return dogs
+}
+
 // Train fits the kernel on the episodes with truncated BPTT, mirroring the
 // POSHGNN trainer. It returns the mean per-step loss of the final epoch.
 func (m *Recurrent) Train(episodes []core.Episode) (float64, error) {
@@ -207,6 +220,7 @@ func (m *Recurrent) Train(episodes []core.Episode) (float64, error) {
 	opt := nn.NewAdam(m.params, m.cfg.LR)
 	opt.ClipNorm = 5
 	rng := rand.New(rand.NewSource(m.cfg.Seed + 2))
+	dogs := episodeDOGs(episodes)
 	var lastLoss float64
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
 		// Curriculum on the occlusion penalty: in dense rooms a full-strength
@@ -221,8 +235,7 @@ func (m *Recurrent) Train(episodes []core.Episode) (float64, error) {
 		total, steps := 0.0, 0
 		for _, idx := range rng.Perm(len(episodes)) {
 			ep := episodes[idx]
-			dog := occlusion.BuildDOG(ep.Target, ep.Room.Traj, ep.Room.AvatarRadius)
-			l, n, err := m.trainEpisode(ep.Room, dog, opt, alpha)
+			l, n, err := m.trainEpisode(ep.Room, dogs[idx], opt, alpha)
 			if err != nil {
 				return 0, err
 			}
@@ -247,6 +260,7 @@ func (m *Recurrent) TrainWithValidation(episodes []core.Episode, validate func()
 	opt := nn.NewAdam(m.params, m.cfg.LR)
 	opt.ClipNorm = 5
 	rng := rand.New(rand.NewSource(m.cfg.Seed + 2))
+	dogs := episodeDOGs(episodes)
 	bestVal := math.Inf(-1)
 	var bestSnap map[string]*tensor.Matrix
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
@@ -256,8 +270,7 @@ func (m *Recurrent) TrainWithValidation(episodes []core.Episode, validate func()
 		}
 		for _, idx := range rng.Perm(len(episodes)) {
 			ep := episodes[idx]
-			dog := occlusion.BuildDOG(ep.Target, ep.Room.Traj, ep.Room.AvatarRadius)
-			if _, _, err := m.trainEpisode(ep.Room, dog, opt, alpha); err != nil {
+			if _, _, err := m.trainEpisode(ep.Room, dogs[idx], opt, alpha); err != nil {
 				return 0, err
 			}
 		}

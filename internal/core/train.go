@@ -7,6 +7,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/nn"
 	"after/internal/occlusion"
+	"after/internal/parallel"
 	"after/internal/tensor"
 )
 
@@ -41,13 +42,21 @@ func (m *POSHGNN) Train(episodes []Episode) (TrainStats, error) {
 	rng := rand.New(rand.NewSource(m.cfg.Seed + 1))
 	var stats TrainStats
 
+	// The DOG of an episode is a pure function of (target, trajectory,
+	// radius); build each one once up front instead of once per epoch. The
+	// conversions fan out over the worker pool.
+	dogs := make([]*occlusion.DOG, len(episodes))
+	parallel.ForEach(len(episodes), func(i int) {
+		ep := episodes[i]
+		dogs[i] = occlusion.BuildDOG(ep.Target, ep.Room.Traj, ep.Room.AvatarRadius)
+	})
+
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
 		totalLoss, totalSteps := 0.0, 0
 		order := rng.Perm(len(episodes))
 		for _, idx := range order {
 			ep := episodes[idx]
-			dog := occlusion.BuildDOG(ep.Target, ep.Room.Traj, ep.Room.AvatarRadius)
-			loss, steps, err := m.trainEpisode(ep.Room, dog, opt)
+			loss, steps, err := m.trainEpisode(ep.Room, dogs[idx], opt)
 			if err != nil {
 				return stats, err
 			}

@@ -8,7 +8,6 @@ package exp
 
 import (
 	"fmt"
-	"math"
 	"strings"
 	"time"
 
@@ -16,6 +15,7 @@ import (
 	"after/internal/core"
 	"after/internal/dataset"
 	"after/internal/metrics"
+	"after/internal/parallel"
 	"after/internal/sim"
 )
 
@@ -109,56 +109,104 @@ func POSHGNNRec(m *core.POSHGNN, name string) sim.Recommender {
 	}}
 }
 
+// candidates flattens the (alpha, seed) grid in the canonical scan order:
+// alphas outer, seeds inner. Every grid consumer iterates this exact order
+// so the selected model is independent of training concurrency.
+func (s trainSpec) candidates() []struct {
+	alpha float64
+	seed  int64
+} {
+	grid := make([]struct {
+		alpha float64
+		seed  int64
+	}, 0, len(s.alphas)*len(s.seeds))
+	for _, alpha := range s.alphas {
+		for _, seed := range s.seeds {
+			grid = append(grid, struct {
+				alpha float64
+				seed  int64
+			}{alpha, seed})
+		}
+	}
+	return grid
+}
+
+// argmaxFirst returns the index of the strictly largest value, preferring the
+// earliest index on ties — the same winner a sequential `v > bestVal` scan
+// in grid order picks.
+func argmaxFirst(vals []float64) int {
+	best := 0
+	for i, v := range vals {
+		if v > vals[best] {
+			best = i
+		}
+	}
+	return best
+}
+
 // TrainPOSHGNN trains the model-selection grid and returns the candidate
 // with the highest validation utility. base supplies the ablation switches
 // (UseMIA/UseLWP) and any fixed hyperparameters.
+//
+// The candidates train concurrently over the parallel worker pool; each
+// candidate is fully self-contained (own config, own RNG seed), and the
+// winner is chosen by a sequential argmax over the canonical grid order, so
+// the selected model is bit-identical to a sequential grid scan.
 func TrainPOSHGNN(base core.Config, eps []core.Episode, valRoom *dataset.Room, spec trainSpec) (*core.POSHGNN, error) {
-	var best *core.POSHGNN
-	bestVal := math.Inf(-1)
-	for _, alpha := range spec.alphas {
-		for _, seed := range spec.seeds {
-			cfg := base
-			cfg.Alpha = alpha
-			cfg.Seed = seed
-			cfg.Epochs = spec.epochs
-			m := core.New(cfg)
-			if _, err := m.Train(eps); err != nil {
-				return nil, err
-			}
-			v, err := validationUtility(POSHGNNRec(m, "cand"), valRoom)
-			if err != nil {
-				return nil, err
-			}
-			if v > bestVal {
-				best, bestVal = m, v
-			}
-		}
+	grid := spec.candidates()
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("exp: empty model-selection grid")
 	}
-	return best, nil
+	models := make([]*core.POSHGNN, len(grid))
+	vals := make([]float64, len(grid))
+	err := parallel.ForEachErr(len(grid), func(k int) error {
+		cfg := base
+		cfg.Alpha = grid[k].alpha
+		cfg.Seed = grid[k].seed
+		cfg.Epochs = spec.epochs
+		m := core.New(cfg)
+		if _, err := m.Train(eps); err != nil {
+			return err
+		}
+		v, err := validationUtility(POSHGNNRec(m, "cand"), valRoom)
+		if err != nil {
+			return err
+		}
+		models[k], vals[k] = m, v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return models[argmaxFirst(vals)], nil
 }
 
 // trainRecurrent selects a TGCN or DCRNN the same way, with per-epoch early
 // stopping on the validation room (the collapse-prone kernels often peak in
-// the middle of training).
+// the middle of training). Candidates train concurrently like TrainPOSHGNN.
 func trainRecurrent(build func(cfg baselines.RecurrentConfig) *baselines.Recurrent,
 	eps []core.Episode, valRoom *dataset.Room, spec trainSpec) (*baselines.Recurrent, error) {
-	var best *baselines.Recurrent
-	bestVal := math.Inf(-1)
-	for _, alpha := range spec.alphas {
-		for _, seed := range spec.seeds {
-			m := build(baselines.RecurrentConfig{Alpha: alpha, Seed: seed, Epochs: spec.epochs})
-			v, err := m.TrainWithValidation(eps, func() (float64, error) {
-				return validationUtility(m, valRoom)
-			})
-			if err != nil {
-				return nil, err
-			}
-			if v > bestVal {
-				best, bestVal = m, v
-			}
-		}
+	grid := spec.candidates()
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("exp: empty model-selection grid")
 	}
-	return best, nil
+	models := make([]*baselines.Recurrent, len(grid))
+	vals := make([]float64, len(grid))
+	err := parallel.ForEachErr(len(grid), func(k int) error {
+		m := build(baselines.RecurrentConfig{Alpha: grid[k].alpha, Seed: grid[k].seed, Epochs: spec.epochs})
+		v, err := m.TrainWithValidation(eps, func() (float64, error) {
+			return validationUtility(m, valRoom)
+		})
+		if err != nil {
+			return err
+		}
+		models[k], vals[k] = m, v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return models[argmaxFirst(vals)], nil
 }
 
 // Row is one method's metrics in a table.

@@ -123,14 +123,20 @@ func Score(room *dataset.Room, dog *occlusion.DOG, rendered [][]bool, beta float
 	var renderedTotal, occludedTotal int
 	var churnSum float64
 	var churnSteps int
+	// Scoring is the inner loop of every table sweep; the visibility
+	// indicator reuses two alternating buffers (current / previous step) and
+	// one present-set scratch instead of allocating three fresh []bool per
+	// step.
 	prevVisible := make([]bool, room.N) // 1[v ⇒ w] = 0 for t < 0
+	curVisible := make([]bool, room.N)
+	present := make([]bool, room.N)
 	var prevRendered []bool
 	for t, frame := range dog.Frames {
 		r := rendered[t]
 		if len(r) != room.N {
 			return Result{}, fmt.Errorf("metrics: rendered[%d] has %d entries, want %d", t, len(r), room.N)
 		}
-		visible := frame.VisibleSet(r, room.Interfaces)
+		visible := frame.VisibleSetInto(curVisible, present, r, room.Interfaces)
 		for w := 0; w < room.N; w++ {
 			if w == target || !r[w] {
 				continue
@@ -155,7 +161,7 @@ func Score(room *dataset.Room, dog *occlusion.DOG, rendered [][]bool, beta float
 				res.Social += room.Social(target, w)
 			}
 		}
-		prevVisible = visible
+		prevVisible, curVisible = visible, prevVisible
 		if prevRendered != nil {
 			diff, union := 0, 0
 			for w := 0; w < room.N; w++ {
@@ -217,8 +223,14 @@ func Mean(rs []Result) Result {
 // step given the previous step's visibility — the per-step quantity POSHGNN
 // optimizes. Exposed for tests and for the RL baseline's reward signal.
 func StepUtility(room *dataset.Room, frame *occlusion.StaticGraph, rendered, prevVisible []bool, beta float64) (utility float64, visible []bool) {
+	return stepUtilityInto(make([]bool, room.N), make([]bool, room.N), room, frame, rendered, prevVisible, beta)
+}
+
+// stepUtilityInto is StepUtility with caller-supplied visibility and
+// present-set scratch, so series computations avoid per-step allocations.
+func stepUtilityInto(dst, present []bool, room *dataset.Room, frame *occlusion.StaticGraph, rendered, prevVisible []bool, beta float64) (utility float64, visible []bool) {
 	target := frame.Target
-	visible = frame.VisibleSet(rendered, room.Interfaces)
+	visible = frame.VisibleSetInto(dst, present, rendered, room.Interfaces)
 	for w := 0; w < room.N; w++ {
 		if w == target || !rendered[w] || !visible[w] {
 			continue
@@ -239,11 +251,19 @@ func StepSeries(room *dataset.Room, dog *occlusion.DOG, rendered [][]bool, beta 
 		return nil, fmt.Errorf("metrics: %d rendered sets for %d frames", len(rendered), len(dog.Frames))
 	}
 	series := make([]float64, len(dog.Frames))
+	cur := make([]bool, room.N)
+	spare := make([]bool, room.N)
+	present := make([]bool, room.N)
 	var prev []bool
 	for t, frame := range dog.Frames {
-		u, vis := StepUtility(room, frame, rendered[t], prev, beta)
+		u, vis := stepUtilityInto(cur, present, room, frame, rendered[t], prev, beta)
 		series[t] = u
-		prev = vis
+		// vis aliases cur; keep it as prev and recycle the old prev buffer.
+		if prev == nil {
+			prev, cur = vis, spare
+		} else {
+			prev, cur = vis, prev
+		}
 	}
 	return series, nil
 }

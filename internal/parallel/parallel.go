@@ -1,0 +1,112 @@
+// Package parallel provides the bounded worker pool behind every fan-out in
+// the harness: episode evaluation (sim.Evaluate), DOG construction across
+// frames (occlusion.BuildDOG), and the α×seed model-selection grids
+// (exp.TrainPOSHGNN). The pool is deliberately tiny — an atomic work counter
+// drained by at most Limit() goroutines — because every call site fans out
+// pure, independent work items whose results are written to disjoint slots.
+//
+// Determinism contract: callers must make each work item independent of
+// execution order (per-episode RNG seeds, no shared mutable state without
+// locks). Under that contract results are bit-identical for every worker
+// count, including the sequential Limit()==1 case, which runs items strictly
+// in index order. The determinism tests in internal/sim assert this
+// end-to-end.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// limit is the configured worker bound; 0 means "use GOMAXPROCS at call
+// time". It is atomic so -parallel flags, tests, and the bench rig can
+// repin it while evaluations run on other goroutines.
+var limit atomic.Int64
+
+// Limit returns the current worker bound (at least 1).
+func Limit() int {
+	if n := int(limit.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetLimit pins the worker bound. n <= 0 restores the GOMAXPROCS default.
+// It returns the previous setting (0 when it was the default) so callers can
+// restore it; the bench rig uses this to time sequential vs parallel runs of
+// the same experiment.
+func SetLimit(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(limit.Swap(int64(n)))
+}
+
+// WithLimit runs fn with the worker bound pinned to n, restoring the
+// previous bound afterwards. It is not safe to overlap WithLimit calls with
+// different bounds from multiple goroutines (the restore would race); the
+// harness only calls it from the top-level driver.
+func WithLimit(n int, fn func()) {
+	prev := SetLimit(n)
+	defer SetLimit(prev)
+	fn()
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most Limit() workers.
+// With one worker (or n == 1) the items run in index order on the calling
+// goroutine — exactly the sequential behaviour -parallel 1 promises.
+func ForEach(n int, fn func(i int)) {
+	ForEachN(n, Limit(), fn)
+}
+
+// ForEachN is ForEach with an explicit worker bound, for call sites that must
+// not inherit the global setting (e.g. nested fan-outs that would
+// oversubscribe).
+func ForEachN(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr runs fn(i) for every i in [0, n) and returns the error of the
+// lowest-index failing item — the same error a sequential loop would have
+// returned first — or nil. All items run to completion even when some fail,
+// keeping side effects (result slots, caches) independent of worker count.
+func ForEachErr(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	ForEach(n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		n := 137
+		hits := make([]int32, n)
+		ForEachN(n, workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	ForEachN(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential run out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	ForEachN(0, 4, func(int) { called = true })
+	ForEachN(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	WithLimit(8, func() {
+		err := ForEachErr(100, func(i int) error {
+			switch i {
+			case 97:
+				return errB
+			case 13:
+				return errA
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("err = %v, want lowest-index error %v", err, errA)
+		}
+	})
+}
+
+func TestForEachErrNil(t *testing.T) {
+	if err := ForEachErr(50, func(int) error { return nil }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWithLimitRestores(t *testing.T) {
+	base := Limit()
+	WithLimit(3, func() {
+		if Limit() != 3 {
+			t.Fatalf("inside WithLimit: Limit = %d", Limit())
+		}
+		WithLimit(1, func() {
+			if Limit() != 1 {
+				t.Fatalf("nested WithLimit: Limit = %d", Limit())
+			}
+		})
+		if Limit() != 3 {
+			t.Fatalf("after nested restore: Limit = %d", Limit())
+		}
+	})
+	if Limit() != base {
+		t.Fatalf("after WithLimit: Limit = %d, want %d", Limit(), base)
+	}
+}
+
+func TestSetLimitDefault(t *testing.T) {
+	prev := SetLimit(0)
+	defer SetLimit(prev)
+	if Limit() < 1 {
+		t.Fatalf("default Limit = %d", Limit())
+	}
+}
+
+// TestForEachConcurrentSums exercises the pool under -race with contended
+// shared state (an atomic accumulator) and nested fan-outs.
+func TestForEachConcurrentSums(t *testing.T) {
+	var sum atomic.Int64
+	WithLimit(8, func() {
+		ForEach(64, func(i int) {
+			ForEachN(10, 2, func(j int) {
+				sum.Add(int64(i*10 + j))
+			})
+		})
+	})
+	want := int64(0)
+	for i := 0; i < 640; i++ {
+		want += int64(i)
+	}
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func ExampleForEachErr() {
+	squares := make([]int, 5)
+	err := ForEachErr(5, func(i int) error {
+		squares[i] = i * i
+		return nil
+	})
+	fmt.Println(squares, err)
+	// Output: [0 1 4 9 16] <nil>
+}

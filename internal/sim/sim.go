@@ -12,6 +12,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/metrics"
 	"after/internal/occlusion"
+	"after/internal/parallel"
 )
 
 // ErrEmptyEpisode is returned (wrapped) when an episode's DOG has zero
@@ -93,28 +94,50 @@ func RunEpisodeTrace(rec Recommender, room *dataset.Room, dog *occlusion.DOG, be
 // per recommender, the mean result across targets. Targets outside [0, N)
 // are rejected. The DOG for each target is built once and shared across
 // recommenders so everyone sees the identical scene.
+//
+// Episodes fan out over the parallel worker pool: every (recommender,
+// target) pair is an independent unit of work writing into its own result
+// slot, and the per-recommender means are folded sequentially afterwards in
+// input order. Recommenders therefore must hand out independent Steppers
+// from concurrent StartEpisode calls and must not derive episode randomness
+// from shared mutable RNG state — every built-in recommender seeds its
+// episode RNG from (base seed, target), which keeps results bit-identical
+// to a sequential run regardless of scheduling (see TestEvaluateDeterminism).
+// Only StepTime varies between runs; it measures wall-clock.
 func Evaluate(recs []Recommender, room *dataset.Room, targets []int, beta float64) (map[string]metrics.Result, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("sim: no targets")
 	}
 	dogs := make([]*occlusion.DOG, len(targets))
-	for i, target := range targets {
+	for _, target := range targets {
 		if target < 0 || target >= room.N {
 			return nil, fmt.Errorf("sim: target %d out of range", target)
 		}
-		dogs[i] = occlusion.BuildDOG(target, room.Traj, room.AvatarRadius)
+	}
+	// Each BuildDOG already fans its frames out over the pool; distributing
+	// the targets too keeps the workers fed when episodes are short.
+	parallel.ForEach(len(targets), func(i int) {
+		dogs[i] = occlusion.BuildDOG(targets[i], room.Traj, room.AvatarRadius)
+	})
+	// Flatten (recommender, target) pairs row-major so the lowest-index
+	// error reported by ForEachErr is exactly the error a sequential
+	// recs-outer/targets-inner loop would have hit first.
+	results := make([]metrics.Result, len(recs)*len(targets))
+	err := parallel.ForEachErr(len(results), func(k int) error {
+		r, i := k/len(targets), k%len(targets)
+		er, err := RunEpisode(recs[r], room, dogs[i], beta)
+		if err != nil {
+			return fmt.Errorf("sim: %s on target %d: %w", recs[r].Name(), targets[i], err)
+		}
+		results[k] = er.Result
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := make(map[string]metrics.Result, len(recs))
-	for _, rec := range recs {
-		var rs []metrics.Result
-		for i := range targets {
-			er, err := RunEpisode(rec, room, dogs[i], beta)
-			if err != nil {
-				return nil, fmt.Errorf("sim: %s on target %d: %w", rec.Name(), targets[i], err)
-			}
-			rs = append(rs, er.Result)
-		}
-		out[rec.Name()] = metrics.Mean(rs)
+	for r, rec := range recs {
+		out[rec.Name()] = metrics.Mean(results[r*len(targets) : (r+1)*len(targets)])
 	}
 	return out, nil
 }

@@ -38,6 +38,10 @@ func (t *Tensor) Rows() int { return t.Value.Rows }
 // Cols returns the column count of the underlying value.
 func (t *Tensor) Cols() int { return t.Value.Cols }
 
+// accumulate folds g into t's gradient. It never retains g (the first
+// accumulation deep-copies, later ones add element-wise), which is what lets
+// every back function below route its temporaries through the scratch
+// workspace and return them immediately after accumulating.
 func (t *Tensor) accumulate(g *Matrix) {
 	if !t.requires {
 		return
@@ -113,9 +117,13 @@ func Sub(a, b *Tensor) *Tensor {
 	out := newOp(SubMat(a.Value, b.Value), a, b)
 	out.back = func() {
 		a.accumulate(out.grad)
-		neg := out.grad.Clone()
-		neg.ScaleInPlace(-1)
-		b.accumulate(neg)
+		if b.requires {
+			ws := defaultWorkspace
+			neg := ws.GetCopy(out.grad)
+			neg.ScaleInPlace(-1)
+			b.accumulate(neg)
+			ws.Put(neg)
+		}
 	}
 	return out
 }
@@ -124,18 +132,53 @@ func Sub(a, b *Tensor) *Tensor {
 func Mul(a, b *Tensor) *Tensor {
 	out := newOp(HadamardMat(a.Value, b.Value), a, b)
 	out.back = func() {
-		a.accumulate(HadamardMat(out.grad, b.Value))
-		b.accumulate(HadamardMat(out.grad, a.Value))
+		ws := defaultWorkspace
+		if a.requires {
+			g := ws.Get(out.grad.Rows, out.grad.Cols)
+			hadamardInto(g, out.grad, b.Value)
+			a.accumulate(g)
+			ws.Put(g)
+		}
+		if b.requires {
+			g := ws.Get(out.grad.Rows, out.grad.Cols)
+			hadamardInto(g, out.grad, a.Value)
+			b.accumulate(g)
+			ws.Put(g)
+		}
 	}
 	return out
+}
+
+// hadamardInto writes a⊗b into dst; all three must share one shape.
+func hadamardInto(dst, a, b *Matrix) {
+	for i, v := range a.Data {
+		dst.Data[i] = v * b.Data[i]
+	}
 }
 
 // MatMulT returns the matrix product a·b.
 func MatMulT(a, b *Tensor) *Tensor {
 	out := newOp(MatMul(a.Value, b.Value), a, b)
 	out.back = func() {
-		a.accumulate(MatMul(out.grad, b.Value.Transposed()))
-		b.accumulate(MatMul(a.Value.Transposed(), out.grad))
+		ws := defaultWorkspace
+		if a.requires {
+			bt := ws.Get(b.Value.Cols, b.Value.Rows)
+			b.Value.TransposedInto(bt)
+			g := ws.Get(out.grad.Rows, bt.Cols)
+			MatMulInto(g, out.grad, bt)
+			ws.Put(bt)
+			a.accumulate(g)
+			ws.Put(g)
+		}
+		if b.requires {
+			at := ws.Get(a.Value.Cols, a.Value.Rows)
+			a.Value.TransposedInto(at)
+			g := ws.Get(at.Rows, out.grad.Cols)
+			MatMulInto(g, at, out.grad)
+			ws.Put(at)
+			b.accumulate(g)
+			ws.Put(g)
+		}
 	}
 	return out
 }
@@ -146,9 +189,11 @@ func Scale(a *Tensor, s float64) *Tensor {
 	v.ScaleInPlace(s)
 	out := newOp(v, a)
 	out.back = func() {
-		g := out.grad.Clone()
+		ws := defaultWorkspace
+		g := ws.GetCopy(out.grad)
 		g.ScaleInPlace(s)
 		a.accumulate(g)
+		ws.Put(g)
 	}
 	return out
 }
@@ -180,13 +225,17 @@ func AddRowBroadcast(a, bias *Tensor) *Tensor {
 	out := newOp(v, a, bias)
 	out.back = func() {
 		a.accumulate(out.grad)
-		bg := NewMatrix(1, a.Value.Cols)
-		for i := 0; i < out.grad.Rows; i++ {
-			for j := 0; j < out.grad.Cols; j++ {
-				bg.Data[j] += out.grad.Data[i*out.grad.Cols+j]
+		if bias.requires {
+			ws := defaultWorkspace
+			bg := ws.GetZeroed(1, a.Value.Cols)
+			for i := 0; i < out.grad.Rows; i++ {
+				for j := 0; j < out.grad.Cols; j++ {
+					bg.Data[j] += out.grad.Data[i*out.grad.Cols+j]
+				}
 			}
+			bias.accumulate(bg)
+			ws.Put(bg)
 		}
-		bias.accumulate(bg)
 	}
 	return out
 }
@@ -201,13 +250,15 @@ func ReLU(a *Tensor) *Tensor {
 	}
 	out := newOp(v, a)
 	out.back = func() {
-		g := out.grad.Clone()
+		ws := defaultWorkspace
+		g := ws.GetCopy(out.grad)
 		for i, x := range a.Value.Data {
 			if x <= 0 {
 				g.Data[i] = 0
 			}
 		}
 		a.accumulate(g)
+		ws.Put(g)
 	}
 	return out
 }
@@ -221,11 +272,13 @@ func Sigmoid(a *Tensor) *Tensor {
 	}
 	out := newOp(v, a)
 	out.back = func() {
-		g := out.grad.Clone()
+		ws := defaultWorkspace
+		g := ws.GetCopy(out.grad)
 		for i, s := range out.Value.Data {
 			g.Data[i] *= s * (1 - s)
 		}
 		a.accumulate(g)
+		ws.Put(g)
 	}
 	return out
 }
@@ -239,11 +292,13 @@ func Tanh(a *Tensor) *Tensor {
 	}
 	out := newOp(v, a)
 	out.back = func() {
-		g := out.grad.Clone()
+		ws := defaultWorkspace
+		g := ws.GetCopy(out.grad)
 		for i, th := range out.Value.Data {
 			g.Data[i] *= 1 - th*th
 		}
 		a.accumulate(g)
+		ws.Put(g)
 	}
 	return out
 }
@@ -261,7 +316,8 @@ func Log(a *Tensor) *Tensor {
 	}
 	out := newOp(v, a)
 	out.back = func() {
-		g := out.grad.Clone()
+		ws := defaultWorkspace
+		g := ws.GetCopy(out.grad)
 		for i, x := range a.Value.Data {
 			if x < floor {
 				x = floor
@@ -269,6 +325,7 @@ func Log(a *Tensor) *Tensor {
 			g.Data[i] /= x
 		}
 		a.accumulate(g)
+		ws.Put(g)
 	}
 	return out
 }
@@ -279,11 +336,13 @@ func Sum(a *Tensor) *Tensor {
 	v.Data[0] = a.Value.Sum()
 	out := newOp(v, a)
 	out.back = func() {
-		g := NewMatrix(a.Value.Rows, a.Value.Cols)
+		ws := defaultWorkspace
+		g := ws.Get(a.Value.Rows, a.Value.Cols)
 		for i := range g.Data {
 			g.Data[i] = out.grad.Data[0]
 		}
 		a.accumulate(g)
+		ws.Put(g)
 	}
 	return out
 }
@@ -302,15 +361,21 @@ func Concat(ts ...*Tensor) *Tensor {
 	}
 	out := newOp(ConcatCols(ms...), ts...)
 	out.back = func() {
+		ws := defaultWorkspace
 		off := 0
 		cols := out.Value.Cols
 		for _, t := range ts {
-			g := NewMatrix(t.Value.Rows, t.Value.Cols)
+			if !t.requires {
+				off += t.Value.Cols
+				continue
+			}
+			g := ws.Get(t.Value.Rows, t.Value.Cols)
 			for i := 0; i < t.Value.Rows; i++ {
 				copy(g.Data[i*t.Value.Cols:(i+1)*t.Value.Cols],
 					out.grad.Data[i*cols+off:i*cols+off+t.Value.Cols])
 			}
 			t.accumulate(g)
+			ws.Put(g)
 			off += t.Value.Cols
 		}
 	}
@@ -329,7 +394,7 @@ func QuadraticForm(r *Tensor, a *Matrix) *Tensor {
 		panic(fmt.Sprintf("tensor: QuadraticForm r %dx%d, A %dx%d",
 			r.Value.Rows, r.Value.Cols, a.Rows, a.Cols))
 	}
-	ar := MatMul(a, r.Value) // |V|×1
+	ar := MatMul(a, r.Value) // |V|×1, captured by the backward closure
 	v := NewMatrix(1, 1)
 	for i := 0; i < r.Value.Rows; i++ {
 		v.Data[0] += r.Value.Data[i] * ar.Data[i]
@@ -337,12 +402,19 @@ func QuadraticForm(r *Tensor, a *Matrix) *Tensor {
 	out := newOp(v, r)
 	out.back = func() {
 		// ∂(rᵀAr)/∂r = (A + Aᵀ)·r
-		atr := MatMul(a.Transposed(), r.Value)
-		g := NewMatrix(r.Value.Rows, 1)
+		ws := defaultWorkspace
+		at := ws.Get(a.Cols, a.Rows)
+		a.TransposedInto(at)
+		atr := ws.Get(at.Rows, 1)
+		MatMulInto(atr, at, r.Value)
+		ws.Put(at)
+		g := ws.Get(r.Value.Rows, 1)
 		for i := range g.Data {
 			g.Data[i] = (ar.Data[i] + atr.Data[i]) * out.grad.Data[0]
 		}
+		ws.Put(atr)
 		r.accumulate(g)
+		ws.Put(g)
 	}
 	return out
 }

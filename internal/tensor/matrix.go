@@ -126,14 +126,25 @@ func (m *Matrix) Zero() {
 
 // MatMul returns m·n. Dimensions must agree (m.Cols == n.Rows).
 func MatMul(m, n *Matrix) *Matrix {
+	out := NewMatrix(m.Rows, n.Cols)
+	MatMulInto(out, m, n)
+	return out
+}
+
+// MatMulInto computes m·n into dst (which must be m.Rows×n.Cols and is
+// zeroed first) — the allocation-free MatMul for scratch-buffer callers.
+func MatMulInto(dst, m, n *Matrix) {
 	if m.Cols != n.Rows {
 		panic(fmt.Sprintf("tensor: MatMul %dx%d × %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
 	}
-	out := NewMatrix(m.Rows, n.Cols)
-	// ikj loop order keeps the inner loop sequential over both n and out.
+	if dst.Rows != m.Rows || dst.Cols != n.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d for %dx%d result", dst.Rows, dst.Cols, m.Rows, n.Cols))
+	}
+	dst.Zero()
+	// ikj loop order keeps the inner loop sequential over both n and dst.
 	for i := 0; i < m.Rows; i++ {
 		mRow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		outRow := out.Data[i*n.Cols : (i+1)*n.Cols]
+		outRow := dst.Data[i*n.Cols : (i+1)*n.Cols]
 		for k, mv := range mRow {
 			if mv == 0 {
 				continue
@@ -144,18 +155,25 @@ func MatMul(m, n *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // Transposed returns a new matrix that is the transpose of m.
 func (m *Matrix) Transposed() *Matrix {
 	t := NewMatrix(m.Cols, m.Rows)
+	m.TransposedInto(t)
+	return t
+}
+
+// TransposedInto writes the transpose of m into dst (m.Cols×m.Rows).
+func (m *Matrix) TransposedInto(dst *Matrix) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("tensor: TransposedInto dst %dx%d for %dx%d", dst.Rows, dst.Cols, m.Cols, m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
-			t.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+			dst.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
 		}
 	}
-	return t
 }
 
 // AddMat returns m + n as a new matrix.

@@ -1,0 +1,74 @@
+package tensor
+
+import "sync"
+
+// Workspace is a size-bucketed scratch-buffer pool for Matrix values. The
+// autodiff tape is MatMul/Clone-heavy: every Backward pass materializes
+// transposes, negations, and activation-derivative products that live only
+// until the next accumulate call. Routing those short-lived temporaries
+// through a Workspace cuts the allocation churn of training (the
+// BenchmarkTrainingEpoch allocs/op drop is recorded in EXPERIMENTS.md).
+//
+// A Workspace is safe for concurrent use — the parallel model-selection grid
+// trains several models at once against the shared default workspace.
+//
+// Discipline: Get hands out a matrix with undefined contents (use GetZeroed
+// when the caller accumulates into it); Put returns it. Forgetting Put is
+// safe (the buffer is garbage-collected); Putting a matrix that is still
+// referenced elsewhere is the caller's bug, exactly like any pool.
+type Workspace struct {
+	pools sync.Map // total element count -> *sync.Pool of *Matrix
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// defaultWorkspace backs the autodiff engine's internal temporaries.
+var defaultWorkspace = NewWorkspace()
+
+// Scratch returns the shared default workspace, for callers outside the
+// package that want to pool their own temporaries alongside the tape's.
+func Scratch() *Workspace { return defaultWorkspace }
+
+func (w *Workspace) pool(n int) *sync.Pool {
+	if p, ok := w.pools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := w.pools.LoadOrStore(n, &sync.Pool{New: func() any {
+		return &Matrix{Data: make([]float64, n)}
+	}})
+	return p.(*sync.Pool)
+}
+
+// Get returns a rows×cols matrix with undefined contents. Any rows×cols
+// factorization of the same element count shares one bucket.
+func (w *Workspace) Get(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("tensor: Workspace.Get with non-positive shape")
+	}
+	m := w.pool(rows * cols).Get().(*Matrix)
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// GetZeroed returns a rows×cols matrix with every element set to 0.
+func (w *Workspace) GetZeroed(rows, cols int) *Matrix {
+	m := w.Get(rows, cols)
+	m.Zero()
+	return m
+}
+
+// GetCopy returns a pooled deep copy of src.
+func (w *Workspace) GetCopy(src *Matrix) *Matrix {
+	m := w.Get(src.Rows, src.Cols)
+	copy(m.Data, src.Data)
+	return m
+}
+
+// Put returns m to the workspace. m must not be used afterwards.
+func (w *Workspace) Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	w.pool(len(m.Data)).Put(m)
+}
