@@ -11,6 +11,7 @@
 //	aftersim -exp fig4              # Fig. 4    (user study panels)
 //	aftersim -exp chaos             # chaos sweep (utility retention under faults)
 //	aftersim -exp bench             # performance baseline (writes BENCH_*.json)
+//	aftersim -exp scale             # dense-vs-sparse scaling sweep (BENCH_scale.json)
 //	aftersim -exp all               # everything, in order
 //
 // -scale shrinks rooms and horizons proportionally (1 = paper scale, which
@@ -113,6 +114,7 @@ func realMain() int {
 			return r.Format(), nil
 		},
 		"bench": runBench,
+		"scale": runScale,
 	}
 	order := []string{"table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig4", "chaos"}
 
@@ -123,7 +125,7 @@ func realMain() int {
 	for _, id := range ids {
 		run, ok := runners[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "aftersim: unknown experiment %q (want one of %s, bench, all)\n",
+			fmt.Fprintf(os.Stderr, "aftersim: unknown experiment %q (want one of %s, bench, scale, all)\n",
 				id, strings.Join(order, ", "))
 			return 2
 		}
@@ -142,6 +144,10 @@ func realMain() int {
 // runBench measures the performance baseline and persists it: the first run
 // in a directory claims BENCH_baseline.json, later runs write
 // BENCH_latest.json so the checked-in baseline is never clobbered silently.
+// A BENCH_latest.json run is additionally compared against the baseline:
+// per-step recommender latency more than 25% over baseline fails the run,
+// except on single-vCPU machines where noisy-neighbor jitter makes the
+// comparison advisory (a warning is printed, the exit stays zero).
 func runBench(o exp.Options) (string, error) {
 	r, err := exp.RunBench(o)
 	if err != nil {
@@ -154,7 +160,41 @@ func runBench(o exp.Options) (string, error) {
 	if err := r.WriteJSON(path); err != nil {
 		return "", err
 	}
-	return r.Format() + "wrote " + path, nil
+	out := r.Format() + "wrote " + path
+	if path != "BENCH_latest.json" {
+		return out, nil
+	}
+	base, err := exp.ReadBenchReport("BENCH_baseline.json")
+	if err != nil {
+		return "", fmt.Errorf("bench compare: %w", err)
+	}
+	regs := exp.CompareSteppers(base, r, 0.25)
+	if len(regs) == 0 {
+		return out + "\nbench compare: no per-step latency regressions vs baseline", nil
+	}
+	msg := "bench compare: per-step latency regressions vs BENCH_baseline.json:\n  " +
+		strings.Join(regs, "\n  ")
+	if runtime.NumCPU() == 1 {
+		// 1-vCPU runners (the baseline machine class) are too noisy for a
+		// hard gate; surface the regression but do not fail.
+		return out + "\nWARNING (advisory on 1 vCPU): " + msg, nil
+	}
+	return "", fmt.Errorf("%s", msg)
+}
+
+// runScale runs only the dense-vs-sparse message-passing sweep and persists
+// it to BENCH_scale.json (always overwritten: the sweep is a measurement,
+// not a pinned baseline).
+func runScale(o exp.Options) (string, error) {
+	r, err := exp.RunScaleReport(o)
+	if err != nil {
+		return "", err
+	}
+	if err := r.WriteJSON("BENCH_scale.json"); err != nil {
+		return "", err
+	}
+	return "scale sweep (POSHGNN dense vs sparse message passing):\n" +
+		exp.FormatScale(r.Scale) + "wrote BENCH_scale.json", nil
 }
 
 func tableRunner(f func(exp.Options) (*exp.Table, error)) func(exp.Options) (string, error) {

@@ -55,10 +55,11 @@ func (c RecurrentConfig) withDefaults() RecurrentConfig {
 
 // kernel is the per-step recurrent computation each baseline supplies.
 type kernel interface {
-	// forward maps node features x (|V|×4), the raw adjacency, and hidden
+	// forward maps node features x (|V|×4), the CSR adjacency, and hidden
 	// state h (|V|×hidden) to recommendation logits (pre-sigmoid, |V|×1)
-	// and the next hidden state.
-	forward(x *tensor.Tensor, adj *tensor.Matrix, h *tensor.Tensor) (out, next *tensor.Tensor)
+	// and the next hidden state. Kernels aggregate sparsely: the adjacency
+	// is never densified on the baseline paths either.
+	forward(x *tensor.Tensor, adj *tensor.CSR, h *tensor.Tensor) (out, next *tensor.Tensor)
 }
 
 // Recurrent wraps a recurrent graph kernel (TGCN or DCRNN) trained with the
@@ -97,8 +98,8 @@ type tgcnKernel struct {
 	out *nn.Linear
 }
 
-func (k *tgcnKernel) forward(x *tensor.Tensor, adj *tensor.Matrix, h *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
-	spatial := tensor.ReLU(k.gc.Forward(x, adj))
+func (k *tgcnKernel) forward(x *tensor.Tensor, adj *tensor.CSR, h *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	spatial := tensor.ReLU(k.gc.ForwardSparse(x, adj))
 	next := k.gru.Forward(spatial, h)
 	return k.out.Forward(next), next
 }
@@ -135,31 +136,17 @@ type dcrnnKernel struct {
 	out        *nn.Linear
 }
 
-func (k *dcrnnKernel) forward(x *tensor.Tensor, adj *tensor.Matrix, h *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
-	p1 := rowNormalize(adj)
-	px := tensor.MatMulT(tensor.Constant(p1), x)   // one diffusion step
-	ppx := tensor.MatMulT(tensor.Constant(p1), px) // two diffusion steps
+func (k *dcrnnKernel) forward(x *tensor.Tensor, adj *tensor.CSR, h *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	// The random-walk transition matrix D⁻¹A keeps the adjacency's sparsity
+	// pattern, so diffusion steps stay O(E·d); RowNormalized is memoized on
+	// the frame's CSR, and its (non-symmetric) transpose for the backward
+	// pass is built lazily once per frame.
+	p1 := adj.RowNormalized()
+	px := tensor.SpMMT(p1, x)   // one diffusion step
+	ppx := tensor.SpMMT(p1, px) // two diffusion steps
 	spatial := tensor.ReLU(tensor.Add(tensor.Add(k.w0.Forward(x), k.w1.Forward(px)), k.w2.Forward(ppx)))
 	next := k.gru.Forward(spatial, h)
 	return k.out.Forward(tensor.Concat(next, x)), next
-}
-
-// rowNormalize returns D^{-1}A, the random-walk transition matrix.
-func rowNormalize(a *tensor.Matrix) *tensor.Matrix {
-	out := a.Clone()
-	for i := 0; i < a.Rows; i++ {
-		rowSum := 0.0
-		for j := 0; j < a.Cols; j++ {
-			rowSum += a.At(i, j)
-		}
-		if rowSum == 0 {
-			continue
-		}
-		for j := 0; j < a.Cols; j++ {
-			out.Set(i, j, a.At(i, j)/rowSum)
-		}
-	}
-	return out
 }
 
 // recurrentInputDim is the per-node feature width of the recurrent
@@ -194,7 +181,7 @@ func poshgnnLoss(r, prevR *tensor.Tensor, agg *core.MIAOutput, alpha, beta float
 	if prevR != nil {
 		loss = tensor.Add(loss, tensor.Scale(tensor.Sum(tensor.Mul(tensor.Mul(r, prevR), shat)), -beta))
 	}
-	loss = tensor.Add(loss, tensor.Scale(tensor.QuadraticForm(r, agg.Adj), alpha))
+	loss = tensor.Add(loss, tensor.Scale(tensor.QuadraticFormCSR(r, agg.Adj), alpha))
 	gamma := (1-beta)*agg.PHat.Sum() + beta*agg.SHat.Sum()
 	return tensor.AddScalar(loss, gamma)
 }

@@ -31,8 +31,11 @@ type MIAOutput struct {
 	Delta *tensor.Matrix
 	// Mask is m_t as a |V|×1 column (0 prunes a candidate).
 	Mask *tensor.Matrix
-	// Adj is the dense adjacency A_t of the current occlusion graph.
-	Adj *tensor.Matrix
+	// Adj is the adjacency A_t of the current occlusion graph in CSR form
+	// (symmetric, implicit-ones pattern shared with the converter). All
+	// message passing and the occlusion penalty run sparse off this
+	// structure; the dense matrix is never materialized on this path.
+	Adj *tensor.CSR
 	// PHat and SHat are the |V|×1 normalized utility columns reused by the
 	// loss (they equal columns 0 and 1 of X, masked).
 	PHat, SHat *tensor.Matrix
@@ -104,7 +107,7 @@ func (m *MIA) Aggregate(room *dataset.Room, frame, prev *occlusion.StaticGraph) 
 		X:     x,
 		Delta: delta,
 		Mask:  mask,
-		Adj:   frame.AdjacencyMatrix(),
+		Adj:   frame.AdjacencyCSR(),
 		PHat:  phat,
 		SHat:  shat,
 	}

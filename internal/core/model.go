@@ -36,10 +36,14 @@ type Config struct {
 	// UseLWP enables Learning Which to Preserve and the preservation gate;
 	// disabling it yields the "PDR w/ MIA" ablation of Table V.
 	UseLWP bool
-	// MaxRender caps the rendered-set size per step (0 = 10, negative =
-	// unlimited). Headsets render a bounded number of surrounding avatars,
-	// and the paper's qualitative examples recommend small sets; the cap
-	// also keeps the utility comparable with the fixed-k baselines.
+	// MaxRender caps the rendered-set size per step. The zero value takes
+	// the default of 10 (withDefaults); any non-positive value reaching the
+	// decode stage — e.g. an explicit -1 — means unlimited. Both decode
+	// paths (the greedy de-occlusion decoder and RawDecode thresholding)
+	// share this "non-positive budget = unlimited" convention. Headsets
+	// render a bounded number of surrounding avatars, and the paper's
+	// qualitative examples recommend small sets; the cap also keeps the
+	// utility comparable with the fixed-k baselines.
 	MaxRender int
 	// RawDecode disables the greedy de-occlusion decoding of r_t at
 	// inference. By default the rendered set is constructed from the
@@ -95,6 +99,12 @@ type POSHGNN struct {
 
 	pdr1, pdr2       *nn.GraphConv
 	lwp1, lwp2, lwp3 *nn.GraphConv
+
+	// denseAdj routes every graph convolution through the dense adjacency
+	// compat path instead of the CSR kernels. Bench/test knob only: the
+	// `-exp scale` harness uses it to time dense vs sparse, and the property
+	// tests pin the two paths to ≤1e-12 agreement.
+	denseAdj bool
 }
 
 // New builds an untrained POSHGNN with Glorot-initialized weights.
@@ -128,6 +138,13 @@ func (m *POSHGNN) Params() *nn.Params { return m.params }
 // (nil clears it). Length must equal the room size used at inference.
 func (m *POSHGNN) SetBlocklist(block []bool) { m.mia.Blocklist = block }
 
+// SetDenseAdjacency toggles the dense-adjacency compat path for every graph
+// convolution (default off: the sparse CSR kernels). The two paths are
+// inference-equivalent (property-tested to ≤1e-12); the dense one exists so
+// the `-exp scale` harness and the regression tests can measure and pin the
+// sparse path against it. Not safe to flip concurrently with Step/Train.
+func (m *POSHGNN) SetDenseAdjacency(on bool) { m.denseAdj = on }
+
 // stepOutput bundles one forward step's differentiable results.
 type stepOutput struct {
 	r     *tensor.Tensor // final recommendation r_t (|V|×1, in [0,1])
@@ -144,9 +161,19 @@ func (m *POSHGNN) forward(room *dataset.Room, frame, prev *occlusion.StaticGraph
 	x := tensor.Constant(agg.X)
 	maskT := tensor.Constant(agg.Mask)
 
+	// conv dispatches one graph convolution through the sparse CSR kernel
+	// (the production path: O(E·d) message passing, backward reuses the
+	// symmetric CSR) or, under the bench/compat toggle, the dense reference.
+	conv := func(gc *nn.GraphConv, in *tensor.Tensor) *tensor.Tensor {
+		if m.denseAdj {
+			return gc.Forward(in, frame.AdjacencyMatrix())
+		}
+		return gc.ForwardSparse(in, agg.Adj)
+	}
+
 	// PDR (Eq. 1): two graph convolutions; the hidden layer doubles as h_t.
-	h := tensor.ReLU(m.pdr1.Forward(x, agg.Adj))
-	rTilde := tensor.Sigmoid(m.pdr2.Forward(h, agg.Adj))
+	h := tensor.ReLU(conv(m.pdr1, x))
+	rTilde := tensor.Sigmoid(conv(m.pdr2, h))
 
 	if !m.cfg.UseLWP {
 		return stepOutput{r: tensor.Mul(maskT, rTilde), h: h, mia: agg}
@@ -159,9 +186,9 @@ func (m *POSHGNN) forward(room *dataset.Room, frame, prev *occlusion.StaticGraph
 		prevH = tensor.Constant(tensor.NewMatrix(n, m.cfg.Hidden))
 	}
 	lwpIn := tensor.Concat(x, tensor.Constant(agg.Delta), prevH, prevR)
-	z := tensor.ReLU(m.lwp1.Forward(lwpIn, agg.Adj))
-	z = tensor.ReLU(m.lwp2.Forward(z, agg.Adj))
-	sigma := tensor.Sigmoid(m.lwp3.Forward(z, agg.Adj))
+	z := tensor.ReLU(conv(m.lwp1, lwpIn))
+	z = tensor.ReLU(conv(m.lwp2, z))
+	sigma := tensor.Sigmoid(conv(m.lwp3, z))
 
 	// Preservation gate: r_t = m_t ⊗ [(1−σ)⊗r̃_t + σ⊗r_{t−1}].
 	ones := tensor.Constant(tensor.Ones(n, 1))
@@ -185,7 +212,7 @@ func (m *POSHGNN) stepLoss(out stepOutput, prevR *tensor.Tensor) *tensor.Tensor 
 	} else {
 		socialGain = tensor.Constant(tensor.NewMatrix(1, 1))
 	}
-	occPenalty := tensor.Scale(tensor.QuadraticForm(out.r, out.mia.Adj), alpha)
+	occPenalty := tensor.Scale(tensor.QuadraticFormCSR(out.r, out.mia.Adj), alpha)
 	gamma := (1-beta)*out.mia.PHat.Sum() + beta*out.mia.SHat.Sum()
 	return tensor.AddScalar(tensor.Add(tensor.Add(prefGain, socialGain), occPenalty), gamma)
 }
@@ -218,15 +245,23 @@ func (s *Session) Step(t int, frame *occlusion.StaticGraph) []bool {
 	s.prevR = tensor.Detach(out.r)
 	s.prevH = tensor.Detach(out.h)
 	if s.model.cfg.RawDecode {
+		// Same budget convention as decodeRecommendation: a non-positive
+		// budget means unlimited (the old RawDecode path read budget 0 as
+		// "render nothing", the opposite of the decoder — see the
+		// regression test TestRawDecodeBudgetZeroMeansUnlimited).
 		rendered := make([]bool, s.room.N)
 		budget := s.model.cfg.MaxRender
+		admitted := 0
 		for w := 0; w < s.room.N; w++ {
-			if w == s.target || (budget == 0) {
+			if w == s.target {
 				continue
+			}
+			if budget > 0 && admitted >= budget {
+				break
 			}
 			if out.r.Value.At(w, 0) >= s.model.cfg.Threshold {
 				rendered[w] = true
-				budget--
+				admitted++
 			}
 		}
 		return rendered
@@ -237,9 +272,15 @@ func (s *Session) Step(t int, frame *occlusion.StaticGraph) []bool {
 // decodeRecommendation turns the probability vector r_t into a rendered set
 // with a greedy de-occlusion pass: above-threshold users are admitted in
 // decreasing probability order, skipping any candidate that overlaps an
-// already-admitted user. The probabilities carry MIA's pruning, PDR's
-// utility estimates, and LWP's continuity bias, so the decode is a learned
-// weighting of a maximal-independent-set construction.
+// already-admitted user. A non-positive budget means unlimited (matching the
+// RawDecode path). The probabilities carry MIA's pruning, PDR's utility
+// estimates, and LWP's continuity bias, so the decode is a learned weighting
+// of a maximal-independent-set construction.
+//
+// Equal probabilities are ordered by ascending user index: the tie-break
+// makes the admitted set a deterministic function of r_t alone, which the
+// workers=1 vs workers=8 determinism suite relies on (sort.Slice is
+// unstable, so without it ties could decode differently across runs).
 func decodeRecommendation(r *tensor.Matrix, frame *occlusion.StaticGraph, target int, threshold float64, budget int) []bool {
 	n := r.Rows
 	order := make([]int, 0, n)
@@ -248,7 +289,13 @@ func decodeRecommendation(r *tensor.Matrix, frame *occlusion.StaticGraph, target
 			order = append(order, w)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool { return r.At(order[a], 0) > r.At(order[b], 0) })
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := r.At(order[a], 0), r.At(order[b], 0)
+		if ra != rb {
+			return ra > rb
+		}
+		return order[a] < order[b]
+	})
 	rendered := make([]bool, n)
 	admitted := 0
 	for _, w := range order {

@@ -40,6 +40,9 @@ type BenchReport struct {
 	Steppers  []StepperBench `json:"steppers"`
 	Training  TrainingBench  `json:"training"`
 	Table2    TableBench     `json:"table2"`
+	// Scale is the dense-vs-sparse message-passing sweep (see RunScale);
+	// omitted from reports written before the CSR path existed.
+	Scale []ScaleBench `json:"scale,omitempty"`
 }
 
 // ConverterBench compares the sweep-line BuildStatic against the retained
@@ -81,15 +84,9 @@ type TableBench struct {
 	Speedup      float64 `json:"speedup"`
 }
 
-// benchConverterN is the room size of the sweep-vs-brute comparison — large
-// enough that the asymptotic gap dominates constant factors.
-const benchConverterN = 500
-
-// RunBench measures the performance baseline at the given options and
-// returns the report. It does not write anything; see WriteJSON.
-func RunBench(o Options) (*BenchReport, error) {
-	o = o.withDefaults()
-	r := &BenchReport{
+// newBenchReport captures the machine metadata every report variant shares.
+func newBenchReport(o Options) *BenchReport {
+	return &BenchReport{
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
@@ -99,6 +96,31 @@ func RunBench(o Options) (*BenchReport, error) {
 		ParallelLimit: parallel.Limit(),
 		Options:       o,
 	}
+}
+
+// RunScaleReport wraps RunScale in a metadata-carrying report so
+// `aftersim -exp scale` can persist the sweep on its own (BENCH_scale.json)
+// without paying for the full baseline suite.
+func RunScaleReport(o Options) (*BenchReport, error) {
+	o = o.withDefaults()
+	r := newBenchReport(o)
+	scale, err := RunScale(o)
+	if err != nil {
+		return nil, err
+	}
+	r.Scale = scale
+	return r, nil
+}
+
+// benchConverterN is the room size of the sweep-vs-brute comparison — large
+// enough that the asymptotic gap dominates constant factors.
+const benchConverterN = 500
+
+// RunBench measures the performance baseline at the given options and
+// returns the report. It does not write anything; see WriteJSON.
+func RunBench(o Options) (*BenchReport, error) {
+	o = o.withDefaults()
+	r := newBenchReport(o)
 	r.Converter = benchConverter()
 
 	cfg := o.datasetConfig(dataset.SMM)
@@ -125,6 +147,12 @@ func RunBench(o Options) (*BenchReport, error) {
 		return nil, err
 	}
 	r.Table2 = table2
+
+	scale, err := RunScale(o)
+	if err != nil {
+		return nil, err
+	}
+	r.Scale = scale
 	return r, nil
 }
 
@@ -259,6 +287,10 @@ func (r *BenchReport) Format() string {
 	fmt.Fprintf(&b, "training %d episodes x %d epochs: %.0fms\n", r.Training.Episodes, r.Training.Epochs, r.Training.WallMs)
 	fmt.Fprintf(&b, "table2: sequential %.0fms vs parallel %.0fms (%.2fx)\n",
 		r.Table2.SequentialMs, r.Table2.ParallelMs, r.Table2.Speedup)
+	if len(r.Scale) > 0 {
+		b.WriteString("scale sweep (POSHGNN dense vs sparse message passing):\n")
+		b.WriteString(FormatScale(r.Scale))
+	}
 	return b.String()
 }
 

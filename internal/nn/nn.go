@@ -142,11 +142,25 @@ func NewGraphConv(p *Params, rng *rand.Rand, prefix string, in, out int) *GraphC
 	}
 }
 
-// Forward applies the layer given node features h (|V|×in) and adjacency adj
-// (|V|×|V|, constant). No activation is applied; compose with tensor.ReLU or
-// tensor.Sigmoid at the call site.
+// Forward applies the layer given node features h (|V|×in) and a dense
+// adjacency adj (|V|×|V|, constant). No activation is applied; compose with
+// tensor.ReLU or tensor.Sigmoid at the call site.
+//
+// This dense overload is retained as the reference implementation and
+// test/compat path; production inference and training go through
+// ForwardSparse, which the property tests pin against it to ≤1e-12.
 func (g *GraphConv) Forward(h *tensor.Tensor, adj *tensor.Matrix) *tensor.Tensor {
 	neigh := tensor.MatMulT(tensor.Constant(adj), h)
+	return tensor.Add(tensor.MatMulT(h, g.M1), tensor.MatMulT(neigh, g.M2))
+}
+
+// ForwardSparse is the sparse overload of Forward: the neighbor aggregation
+// A·h runs as an O(E·d) SpMM over the CSR adjacency instead of the O(N²·d)
+// dense product, and the backward pass reuses the same CSR (occlusion
+// adjacencies are symmetric). This is the kernel every POSHGNN and baseline
+// step rides — up to six times per step on the LWP path.
+func (g *GraphConv) ForwardSparse(h *tensor.Tensor, adj *tensor.CSR) *tensor.Tensor {
+	neigh := tensor.SpMMT(adj, h)
 	return tensor.Add(tensor.MatMulT(h, g.M1), tensor.MatMulT(neigh, g.M2))
 }
 

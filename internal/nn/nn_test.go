@@ -265,3 +265,54 @@ func TestRestoreShapeMismatch(t *testing.T) {
 		t.Error("shape mismatch accepted")
 	}
 }
+
+// TestGraphConvSparseMatchesDense pins ForwardSparse against the dense
+// reference Forward: values and parameter gradients must agree to ≤1e-12 on
+// random graphs (including edgeless ones).
+func TestGraphConvSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(20)
+		adj := tensor.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if trial > 0 && rng.Float64() < 0.3 { // trial 0: edgeless
+					adj.Set(i, j, 1)
+					adj.Set(j, i, 1)
+				}
+			}
+		}
+		csr := tensor.CSRFromDense(adj)
+		csr.Symmetric = true
+
+		pd := NewParams()
+		gd := NewGraphConv(pd, rng, "gc", 3, 2)
+		ps := NewParams()
+		gs := NewGraphConv(ps, rng, "gc", 3, 2)
+		copy(gs.M1.Value.Data, gd.M1.Value.Data)
+		copy(gs.M2.Value.Data, gd.M2.Value.Data)
+
+		h := tensor.Randn(rng, n, 3, 1)
+		outD := gd.Forward(tensor.Constant(h), adj)
+		outS := gs.ForwardSparse(tensor.Constant(h), csr)
+		for i := range outD.Value.Data {
+			if math.Abs(outD.Value.Data[i]-outS.Value.Data[i]) > 1e-12 {
+				t.Fatalf("trial %d: forward values diverge at %d", trial, i)
+			}
+		}
+		tensor.Backward(tensor.Sum(tensor.Mul(outD, outD)))
+		tensor.Backward(tensor.Sum(tensor.Mul(outS, outS)))
+		for _, pair := range [][2]*tensor.Tensor{{gd.M1, gs.M1}, {gd.M2, gs.M2}} {
+			gdg, gsg := pair[0].Grad(), pair[1].Grad()
+			if gdg == nil || gsg == nil {
+				t.Fatalf("trial %d: missing gradient", trial)
+			}
+			for i := range gdg.Data {
+				if math.Abs(gdg.Data[i]-gsg.Data[i]) > 1e-12 {
+					t.Fatalf("trial %d: parameter gradients diverge at %d: %v vs %v",
+						trial, i, gdg.Data[i], gsg.Data[i])
+				}
+			}
+		}
+	}
+}

@@ -67,12 +67,20 @@ type StaticGraph struct {
 	Dist []float64
 
 	neighbors [][]int32
+	// flatCol is the single backing array the sweep converter scatters every
+	// neighbor list into (rows concatenated in ascending node order). When
+	// present it doubles as the CSR column array of the adjacency — the
+	// zero-copy hand-off AdjacencyCSR exploits. The brute-force converter
+	// leaves it nil and AdjacencyCSR concatenates instead.
+	flatCol []int32
 
 	// Memoized derived structures: a DOG frame is shared by every
 	// recommender evaluated on the same scene, and before memoization each
 	// of the 4+ GNN methods rebuilt the dense N×N adjacency every step.
 	adjOnce  sync.Once
 	adj      *tensor.Matrix
+	csrOnce  sync.Once
+	csr      *tensor.CSR
 	edgeOnce sync.Once
 	edges    int
 }
@@ -296,6 +304,7 @@ func (g *StaticGraph) buildNeighborsSweep() {
 		}
 	}
 	g.neighbors = sorted
+	g.flatCol = flat
 }
 
 // Occludes reports whether users i and j overlap in the target's view (the
@@ -323,10 +332,39 @@ func (g *StaticGraph) EdgeCount() int {
 	return g.edges
 }
 
-// AdjacencyMatrix materializes A_t as a dense 0/1 matrix for the GNNs. The
-// matrix is built once per frame and shared by every caller — a DOG frame
-// serves several recommenders per step — so callers must treat it as
-// read-only (all GNN paths do: they multiply by it or clone it).
+// AdjacencyCSR returns A_t as a symmetric implicit-ones CSR pattern, the
+// form every GNN path consumes: message passing is per-edge work, so the
+// sparse kernels never pay the O(N²) a densified adjacency costs. For
+// sweep-built graphs the column array is the converter's existing flat
+// neighbor array — a zero-copy hand-off; brute-built graphs concatenate
+// their per-node lists once. The CSR is memoized and shared by every caller
+// (several recommenders step the same frame), so it must be treated as
+// read-only; all kernels do.
+func (g *StaticGraph) AdjacencyCSR() *tensor.CSR {
+	g.csrOnce.Do(func() {
+		rowPtr := make([]int32, g.N+1)
+		total := 0
+		for w, ns := range g.neighbors {
+			total += len(ns)
+			rowPtr[w+1] = int32(total)
+		}
+		col := g.flatCol
+		if col == nil || len(col) != total {
+			col = make([]int32, 0, total)
+			for _, ns := range g.neighbors {
+				col = append(col, ns...)
+			}
+		}
+		g.csr = tensor.NewCSR(g.N, g.N, rowPtr, col, nil, true)
+	})
+	return g.csr
+}
+
+// AdjacencyMatrix materializes A_t as a dense 0/1 matrix. It is retained as
+// a test/compat helper (property tests pin the sparse forward against it,
+// and the `-exp scale` harness times the dense path it used to power); the
+// inference and training paths consume AdjacencyCSR instead. The matrix is
+// memoized and shared, so callers must treat it as read-only.
 func (g *StaticGraph) AdjacencyMatrix() *tensor.Matrix {
 	g.adjOnce.Do(func() {
 		a := tensor.NewMatrix(g.N, g.N)

@@ -1,0 +1,285 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"after/internal/parallel"
+)
+
+// randomSymmetricAdjacency builds a random 0/1 symmetric pattern (zero
+// diagonal, both edge directions stored) of size n with edge probability p,
+// returning it both dense and as an implicit-ones CSR.
+func randomSymmetricAdjacency(rng *rand.Rand, n int, p float64) (*Matrix, *CSR) {
+	dense := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				dense.Set(i, j, 1)
+				dense.Set(j, i, 1)
+			}
+		}
+	}
+	rowPtr := make([]int32, n+1)
+	var col []int32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dense.At(i, j) != 0 {
+				col = append(col, int32(j))
+			}
+		}
+		rowPtr[i+1] = int32(len(col))
+	}
+	return dense, NewCSR(n, n, rowPtr, col, nil, true)
+}
+
+func maxAbsDiff(a, b *Matrix) float64 {
+	d := 0.0
+	for i := range a.Data {
+		if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestSpMMMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 7, 40} {
+		for _, p := range []float64{0, 0.1, 0.5, 1} {
+			dense, csr := randomSymmetricAdjacency(rng, n, p)
+			x := Randn(rng, n, 5, 1)
+			got := SpMM(csr, x)
+			want := MatMul(dense, x)
+			if d := maxAbsDiff(got, want); d > 0 {
+				t.Fatalf("n=%d p=%v: SpMM differs from dense by %g", n, p, d)
+			}
+			if csr.NNZ() != int(csr.RowPtr[n]) {
+				t.Fatalf("NNZ inconsistent with RowPtr")
+			}
+		}
+	}
+}
+
+func TestSpMMWeightedAndRectangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	dense := NewMatrix(6, 9)
+	for i := range dense.Data {
+		if rng.Float64() < 0.3 {
+			dense.Data[i] = rng.NormFloat64()
+		}
+	}
+	csr := CSRFromDense(dense)
+	x := Randn(rng, 9, 4, 1)
+	if d := maxAbsDiff(SpMM(csr, x), MatMul(dense, x)); d > 1e-15 {
+		t.Fatalf("weighted SpMM differs by %g", d)
+	}
+	// Round-trip: Dense(CSRFromDense(m)) == m.
+	if d := maxAbsDiff(csr.Dense(), dense); d != 0 {
+		t.Fatalf("dense round-trip differs by %g", d)
+	}
+}
+
+func TestSpMMParallelPathMatchesSequential(t *testing.T) {
+	// Big enough to cross spmmParallelCutoff: nnz*d >= 2^18.
+	rng := rand.New(rand.NewSource(13))
+	n := 600
+	dense, csr := randomSymmetricAdjacency(rng, n, 0.1) // ~36k nnz
+	x := Randn(rng, n, 8, 1)
+	if csr.NNZ()*x.Cols < spmmParallelCutoff {
+		t.Fatalf("test instance too small to exercise the parallel path: %d", csr.NNZ()*x.Cols)
+	}
+	var seq, par *Matrix
+	parallel.WithLimit(1, func() { seq = SpMM(csr, x) })
+	parallel.WithLimit(8, func() { par = SpMM(csr, x) })
+	if d := maxAbsDiff(seq, par); d != 0 {
+		t.Fatalf("parallel SpMM differs from sequential by %g (must be bit-identical)", d)
+	}
+	if d := maxAbsDiff(par, MatMul(dense, x)); d > 0 {
+		t.Fatalf("parallel SpMM differs from dense by %g", d)
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	dense := NewMatrix(5, 8)
+	for i := range dense.Data {
+		if rng.Float64() < 0.4 {
+			dense.Data[i] = rng.NormFloat64()
+		}
+	}
+	csr := CSRFromDense(dense)
+	if d := maxAbsDiff(csr.T().Dense(), dense.Transposed()); d != 0 {
+		t.Fatalf("transpose differs by %g", d)
+	}
+	if csr.T() != csr.T() {
+		t.Error("transpose not memoized")
+	}
+	_, sym := randomSymmetricAdjacency(rng, 6, 0.5)
+	if sym.T() != sym {
+		t.Error("symmetric CSR must return itself from T")
+	}
+}
+
+func TestCSRRowNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	dense, csr := randomSymmetricAdjacency(rng, 10, 0.3)
+	rn := csr.RowNormalized()
+	if rn != csr.RowNormalized() {
+		t.Error("RowNormalized not memoized")
+	}
+	if rn.Symmetric {
+		t.Error("row-normalized matrix must not claim symmetry")
+	}
+	got := rn.Dense()
+	for i := 0; i < 10; i++ {
+		deg := 0.0
+		for j := 0; j < 10; j++ {
+			deg += dense.At(i, j)
+		}
+		for j := 0; j < 10; j++ {
+			want := 0.0
+			if deg > 0 {
+				want = dense.At(i, j) / deg
+			}
+			if math.Abs(got.At(i, j)-want) > 1e-15 {
+				t.Fatalf("rowNorm[%d,%d] = %v, want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestCSREdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	dense, csr := randomSymmetricAdjacency(rng, 12, 0.4)
+	want := 0
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			if dense.At(i, j) != 0 {
+				want++
+			}
+		}
+	}
+	if got := csr.EdgeCount(); got != want {
+		t.Fatalf("EdgeCount = %d, want %d", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("EdgeCount on non-symmetric CSR must panic")
+		}
+	}()
+	CSRFromDense(dense).EdgeCount()
+}
+
+// TestGradSpMM is the finite-difference check on SpMM's backward pass for
+// both the symmetric adjacency (Aᵀ reuse) and a genuinely non-symmetric
+// weighted matrix (explicit transpose path).
+func TestGradSpMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+
+	denseSym, sym := randomSymmetricAdjacency(rng, 7, 0.4)
+	x := Randn(rng, 7, 3, 1)
+	tx := Variable(x)
+	// Loss = sum((A·x) ⊗ (A·x)) exercises a non-uniform upstream gradient.
+	ax := SpMMT(sym, tx)
+	Backward(Sum(Mul(ax, ax)))
+	f := func() float64 {
+		m := MatMul(denseSym, x)
+		s := 0.0
+		for _, v := range m.Data {
+			s += v * v
+		}
+		return s
+	}
+	checkGrad(t, "spmm-sym/x", tx.Grad(), numericalGrad(x, f))
+
+	denseW := NewMatrix(5, 6)
+	for i := range denseW.Data {
+		if rng.Float64() < 0.4 {
+			denseW.Data[i] = rng.NormFloat64()
+		}
+	}
+	w := CSRFromDense(denseW)
+	y := Randn(rng, 6, 2, 1)
+	ty := Variable(y)
+	ay := SpMMT(w, ty)
+	Backward(Sum(Mul(ay, ay)))
+	g := func() float64 {
+		m := MatMul(denseW, y)
+		s := 0.0
+		for _, v := range m.Data {
+			s += v * v
+		}
+		return s
+	}
+	checkGrad(t, "spmm-weighted/y", ty.Grad(), numericalGrad(y, g))
+}
+
+func TestGradQuadraticFormCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	denseSym, sym := randomSymmetricAdjacency(rng, 8, 0.4)
+	r := Randn(rng, 8, 1, 1)
+	tr := Variable(r)
+	Backward(QuadraticFormCSR(tr, sym))
+	f := func() float64 {
+		ar := MatMul(denseSym, r)
+		s := 0.0
+		for i := range r.Data {
+			s += r.Data[i] * ar.Data[i]
+		}
+		return s
+	}
+	checkGrad(t, "quadform-csr-sym", tr.Grad(), numericalGrad(r, f))
+
+	// Non-symmetric path: value and gradient against the dense reference op.
+	denseW := NewMatrix(6, 6)
+	for i := range denseW.Data {
+		if rng.Float64() < 0.4 {
+			denseW.Data[i] = rng.NormFloat64()
+		}
+	}
+	w := CSRFromDense(denseW)
+	r2 := Randn(rng, 6, 1, 1)
+	sp, dn := Variable(r2), Variable(r2.Clone())
+	lossSp := QuadraticFormCSR(sp, w)
+	lossDn := QuadraticForm(dn, denseW)
+	if math.Abs(lossSp.Value.Data[0]-lossDn.Value.Data[0]) > 1e-12 {
+		t.Fatalf("quadform values differ: %v vs %v", lossSp.Value.Data[0], lossDn.Value.Data[0])
+	}
+	Backward(lossSp)
+	Backward(lossDn)
+	if d := maxAbsDiff(sp.Grad(), dn.Grad()); d > 1e-12 {
+		t.Fatalf("quadform gradients differ by %g", d)
+	}
+}
+
+func TestQuadraticFormCSRMatchesDenseValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	dense, csr := randomSymmetricAdjacency(rng, 15, 0.3)
+	r := Randn(rng, 15, 1, 1)
+	sp := QuadraticFormCSR(Constant(r), csr)
+	dn := QuadraticForm(Constant(r), dense)
+	if math.Abs(sp.Value.Data[0]-dn.Value.Data[0]) > 1e-12 {
+		t.Fatalf("rᵀAr sparse %v vs dense %v", sp.Value.Data[0], dn.Value.Data[0])
+	}
+}
+
+func TestNewCSRValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewCSR(0, 1, []int32{0}, nil, nil, false) },
+		func() { NewCSR(2, 2, []int32{0, 1}, []int32{0}, nil, false) },       // short RowPtr
+		func() { NewCSR(2, 2, []int32{0, 1, 3}, []int32{0, 1}, nil, false) }, // bad bound
+		func() { NewCSR(1, 1, []int32{0, 1}, []int32{0}, []float64{1, 2}, false) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
