@@ -24,6 +24,17 @@
 // run. `-exp bench` records the wall-clock baseline to BENCH_baseline.json
 // on first run and BENCH_latest.json afterwards, so a baseline refresh is an
 // explicit delete-and-rerun.
+//
+// Observability: metrics are on by default (-obs=false turns the registry
+// into a few-ns no-op). Every experiment writes an OBS_<exp>.json registry
+// snapshot next to its results — per-recommender step-latency histograms,
+// per-phase (dog/mia/pdr/lwp/decode) span rollups, worker-pool gauges, and
+// resilience intervention counters. -debug-addr :6060 additionally serves
+// the registry live at /metrics (Prometheus text), /debug/vars (expvar) and
+// /debug/pprof/* while the run is in flight; -trace out.json captures the
+// span stream as Chrome trace-event JSON (load it in chrome://tracing or
+// ui.perfetto.dev); -traincurve curve.jsonl appends one JSONL record per
+// training epoch (loss, grad norm, duration, tagged with alpha/seed).
 package main
 
 import (
@@ -36,11 +47,12 @@ import (
 	"time"
 
 	"after/internal/exp"
+	"after/internal/obs"
 	"after/internal/parallel"
 )
 
-// main defers to realMain so the profile-flushing defers run before the
-// process exits (os.Exit would skip them).
+// main defers to realMain so the profile/trace-flushing defers run before
+// the process exits (os.Exit would skip them).
 func main() { os.Exit(realMain()) }
 
 func realMain() int {
@@ -52,37 +64,100 @@ func realMain() int {
 		workers    = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		obsOn      = flag.Bool("obs", true, "record observability metrics and write OBS_<exp>.json snapshots")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+		tracePath  = flag.String("trace", "", "capture the span stream as Chrome trace-event JSON to this file")
+		curvePath  = flag.String("traincurve", "", "append per-epoch training-curve records (JSONL) to this file")
 	)
 	flag.Parse()
 	opts := exp.Options{Scale: *scale, Quick: *quick, Seed: *seed}
 	parallel.SetLimit(*workers)
 
+	// -trace without metrics would record anonymous spans from instrumented
+	// call sites that only intern names when the registry is live; tracing
+	// therefore implies -obs.
+	recordObs := *obsOn || *tracePath != ""
+	obs.SetEnabled(recordObs)
+
+	// Profiling set-up is fail-fast: both output files are created before any
+	// work runs, so a typo'd path dies in milliseconds instead of after a
+	// 20-minute sweep. The flush defers below run on every exit path of
+	// realMain — early flag errors, experiment failures, and success alike.
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aftersim: -cpuprofile: %v\n", err)
 			return 1
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fmt.Fprintf(os.Stderr, "aftersim: -cpuprofile: %v\n", err)
 			return 1
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "aftersim: -cpuprofile: %v\n", err)
+			}
+		}()
 	}
 	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aftersim: -memprofile: %v\n", err)
+			return 1
+		}
 		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "aftersim: -memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "aftersim: -memprofile: %v\n", err)
 			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "aftersim: -memprofile: %v\n", err)
+			}
 		}()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aftersim: -trace: %v\n", err)
+			return 1
+		}
+		obs.SetTracing(true)
+		defer func() {
+			obs.SetTracing(false)
+			if err := obs.DefaultTracer().WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(os.Stderr, "aftersim: -trace: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "aftersim: -trace: %v\n", err)
+			}
+			fmt.Printf("wrote span trace to %s (%d spans dropped from ring)\n",
+				*tracePath, obs.DefaultTracer().Dropped())
+		}()
+	}
+	if *curvePath != "" {
+		f, err := os.Create(*curvePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aftersim: -traincurve: %v\n", err)
+			return 1
+		}
+		obs.SetCurveWriter(f)
+		defer func() {
+			obs.SetCurveWriter(nil)
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "aftersim: -traincurve: %v\n", err)
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aftersim: -debug-addr: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint live on http://%s (/metrics, /debug/vars, /debug/pprof)\n\n", srv.Addr())
 	}
 
 	runners := map[string]func(exp.Options) (string, error){
@@ -129,6 +204,12 @@ func realMain() int {
 				id, strings.Join(order, ", "))
 			return 2
 		}
+		if recordObs {
+			// Each experiment gets a clean registry so its OBS snapshot
+			// reflects that experiment alone; Reset zeroes in place, keeping
+			// every package's cached metric handles valid.
+			obs.Default().Reset()
+		}
 		start := time.Now()
 		out, err := run(opts)
 		if err != nil {
@@ -136,6 +217,14 @@ func realMain() int {
 			return 1
 		}
 		fmt.Println(out)
+		if recordObs {
+			obsPath := "OBS_" + id + ".json"
+			if err := obs.Default().WriteJSON(obsPath); err != nil {
+				fmt.Fprintf(os.Stderr, "aftersim: %s: %v\n", id, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", obsPath)
+		}
 		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return 0

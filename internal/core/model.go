@@ -7,6 +7,7 @@ import (
 
 	"after/internal/dataset"
 	"after/internal/nn"
+	"after/internal/obs"
 	"after/internal/occlusion"
 	"after/internal/tensor"
 )
@@ -153,11 +154,16 @@ type stepOutput struct {
 	mia   *MIAOutput
 }
 
-// forward runs MIA → PDR → LWP → preservation gate for one step.
+// forward runs MIA → PDR → LWP → preservation gate for one step. Each stage
+// is wrapped in an obs span (`mia`, `pdr`, `lwp`) so per-phase latency
+// rollups and -trace timelines cover every POSHGNN step, at a
+// load-and-branch cost when observability is off.
 // prevR/prevH may be nil at t=0 (they default to zeros: nothing to inherit).
 func (m *POSHGNN) forward(room *dataset.Room, frame, prev *occlusion.StaticGraph, prevR, prevH *tensor.Tensor) stepOutput {
 	n := room.N
+	spMIA := obs.Begin("mia")
 	agg := m.mia.Aggregate(room, frame, prev)
+	spMIA.End()
 	x := tensor.Constant(agg.X)
 	maskT := tensor.Constant(agg.Mask)
 
@@ -172,13 +178,16 @@ func (m *POSHGNN) forward(room *dataset.Room, frame, prev *occlusion.StaticGraph
 	}
 
 	// PDR (Eq. 1): two graph convolutions; the hidden layer doubles as h_t.
+	spPDR := obs.Begin("pdr")
 	h := tensor.ReLU(conv(m.pdr1, x))
 	rTilde := tensor.Sigmoid(conv(m.pdr2, h))
+	spPDR.End()
 
 	if !m.cfg.UseLWP {
 		return stepOutput{r: tensor.Mul(maskT, rTilde), h: h, mia: agg}
 	}
 
+	spLWP := obs.Begin("lwp")
 	if prevR == nil {
 		prevR = tensor.Constant(tensor.NewMatrix(n, 1))
 	}
@@ -193,7 +202,9 @@ func (m *POSHGNN) forward(room *dataset.Room, frame, prev *occlusion.StaticGraph
 	// Preservation gate: r_t = m_t ⊗ [(1−σ)⊗r̃_t + σ⊗r_{t−1}].
 	ones := tensor.Constant(tensor.Ones(n, 1))
 	blend := tensor.Add(tensor.Mul(tensor.Sub(ones, sigma), rTilde), tensor.Mul(sigma, prevR))
-	return stepOutput{r: tensor.Mul(maskT, blend), h: h, sigma: sigma, mia: agg}
+	out := stepOutput{r: tensor.Mul(maskT, blend), h: h, sigma: sigma, mia: agg}
+	spLWP.End()
+	return out
 }
 
 // stepLoss is the per-step POSHGNN loss (Definition 7):
@@ -244,6 +255,8 @@ func (s *Session) Step(t int, frame *occlusion.StaticGraph) []bool {
 	s.prevFrame = frame
 	s.prevR = tensor.Detach(out.r)
 	s.prevH = tensor.Detach(out.h)
+	spDecode := obs.Begin("decode")
+	defer spDecode.End()
 	if s.model.cfg.RawDecode {
 		// Same budget convention as decodeRecommendation: a non-positive
 		// budget means unlimited (the old RawDecode path read budget 0 as

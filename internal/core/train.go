@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"after/internal/dataset"
 	"after/internal/nn"
+	"after/internal/obs"
 	"after/internal/occlusion"
 	"after/internal/parallel"
 	"after/internal/tensor"
@@ -17,13 +19,41 @@ type Episode struct {
 	Target int
 }
 
+// EpochStats is one epoch of the training curve: mean per-step loss, mean
+// pre-clip global gradient norm across optimizer updates, and wall-clock
+// duration. Emitted per epoch as a JSONL record when an obs curve sink is
+// installed (aftersim -traincurve), tagged with the candidate's (alpha,
+// seed) so parallel grid candidates stay distinguishable.
+type EpochStats struct {
+	Alpha      float64 `json:"alpha"`
+	Seed       int64   `json:"seed"`
+	Epoch      int     `json:"epoch"`
+	Loss       float64 `json:"loss"`
+	GradNorm   float64 `json:"grad_norm"`
+	DurationMs float64 `json:"duration_ms"`
+}
+
 // TrainStats summarizes a training run.
 type TrainStats struct {
 	// Losses holds the mean per-step POSHGNN loss after each epoch.
 	Losses []float64
 	// Steps is the total number of optimizer updates performed.
 	Steps int
+	// Epochs is the full per-epoch curve (loss, gradient norm, duration);
+	// Losses[i] == Epochs[i].Loss is kept for compatibility.
+	Epochs []EpochStats
 }
+
+// Training metrics (obs-gated): last epoch loss / gradient norm gauges, an
+// epoch-duration histogram, and a lifetime epoch counter. With several grid
+// candidates training in parallel the gauges show "most recent epoch
+// anywhere"; the JSONL curve is the per-candidate record.
+var (
+	obsTrainLoss     = obs.Default().Gauge("train.loss")
+	obsTrainGradNorm = obs.Default().Gauge("train.grad_norm")
+	obsTrainEpoch    = obs.Default().Histogram("train.epoch")
+	obsTrainEpochs   = obs.Default().Counter("train.epochs")
+)
 
 // Train fits the model on the given episodes with truncated BPTT and Adam
 // (lr from Config, Sec. V-A5). It returns per-epoch mean losses; callers
@@ -52,33 +82,64 @@ func (m *POSHGNN) Train(episodes []Episode) (TrainStats, error) {
 	})
 
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		totalLoss, totalSteps := 0.0, 0
+		normSum, updates := 0.0, 0
 		order := rng.Perm(len(episodes))
 		for _, idx := range order {
 			ep := episodes[idx]
-			loss, steps, err := m.trainEpisode(ep.Room, dogs[idx], opt)
+			loss, steps, gn, err := m.trainEpisode(ep.Room, dogs[idx], opt)
 			if err != nil {
 				return stats, err
 			}
 			totalLoss += loss
 			totalSteps += steps
+			normSum += gn.sum
+			updates += gn.updates
 			stats.Steps += (steps + m.cfg.BPTTWindow - 1) / m.cfg.BPTTWindow
 		}
-		stats.Losses = append(stats.Losses, totalLoss/float64(totalSteps))
+		es := EpochStats{
+			Alpha:      m.cfg.Alpha,
+			Seed:       m.cfg.Seed,
+			Epoch:      epoch,
+			Loss:       totalLoss / float64(totalSteps),
+			DurationMs: float64(time.Since(epochStart)) / 1e6,
+		}
+		if updates > 0 {
+			es.GradNorm = normSum / float64(updates)
+		}
+		stats.Losses = append(stats.Losses, es.Loss)
+		stats.Epochs = append(stats.Epochs, es)
+		obsTrainLoss.Set(es.Loss)
+		obsTrainGradNorm.Set(es.GradNorm)
+		obsTrainEpoch.Observe(time.Since(epochStart))
+		obsTrainEpochs.Inc()
+		if obs.CurveActive() {
+			obs.EmitCurve(es)
+		}
 	}
 	return stats, nil
 }
 
+// gradNorms accumulates pre-clip global gradient norms across the optimizer
+// updates of one episode.
+type gradNorms struct {
+	sum     float64
+	updates int
+}
+
 // trainEpisode runs one full trajectory, applying an optimizer update at the
 // end of every BPTT window and detaching the recurrent state between
-// windows. It returns the summed per-step loss and the step count.
-func (m *POSHGNN) trainEpisode(room *dataset.Room, dog *occlusion.DOG, opt *nn.Adam) (float64, int, error) {
+// windows. It returns the summed per-step loss, the step count, and the
+// accumulated pre-clip gradient norms of its optimizer updates.
+func (m *POSHGNN) trainEpisode(room *dataset.Room, dog *occlusion.DOG, opt *nn.Adam) (float64, int, gradNorms, error) {
 	var (
 		prevFrame *occlusion.StaticGraph
 		prevR     *tensor.Tensor
 		prevH     *tensor.Tensor
 		window    []*tensor.Tensor
 		total     float64
+		gn        gradNorms
 	)
 	flush := func() error {
 		if len(window) == 0 {
@@ -94,7 +155,8 @@ func (m *POSHGNN) trainEpisode(room *dataset.Room, dog *occlusion.DOG, opt *nn.A
 		}
 		m.params.ZeroGrad()
 		tensor.Backward(loss)
-		opt.Step()
+		gn.sum += opt.Step()
+		gn.updates++
 		window = window[:0]
 		return nil
 	}
@@ -112,16 +174,16 @@ func (m *POSHGNN) trainEpisode(room *dataset.Room, dog *occlusion.DOG, opt *nn.A
 		prevH = out.h
 		if len(window) >= m.cfg.BPTTWindow {
 			if err := flush(); err != nil {
-				return total, t + 1, err
+				return total, t + 1, gn, err
 			}
 			prevR = tensor.Detach(prevR)
 			prevH = tensor.Detach(prevH)
 		}
 	}
 	if err := flush(); err != nil {
-		return total, steps, err
+		return total, steps, gn, err
 	}
-	return total, steps, nil
+	return total, steps, gn, nil
 }
 
 // EpisodeLoss evaluates the mean per-step POSHGNN loss on an episode without

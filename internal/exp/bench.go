@@ -13,6 +13,7 @@ import (
 	"after/internal/core"
 	"after/internal/dataset"
 	"after/internal/geom"
+	"after/internal/obs"
 	"after/internal/occlusion"
 	"after/internal/parallel"
 	"after/internal/sim"
@@ -43,6 +44,11 @@ type BenchReport struct {
 	// Scale is the dense-vs-sparse message-passing sweep (see RunScale);
 	// omitted from reports written before the CSR path existed.
 	Scale []ScaleBench `json:"scale,omitempty"`
+	// Notes carries free-form machine observations measured during the run —
+	// currently the observability layer's per-record overhead in both the
+	// disabled and enabled states, so a baseline records what its own
+	// instrumentation cost.
+	Notes []string `json:"notes,omitempty"`
 }
 
 // ConverterBench compares the sweep-line BuildStatic against the retained
@@ -153,7 +159,39 @@ func RunBench(o Options) (*BenchReport, error) {
 		return nil, err
 	}
 	r.Scale = scale
+	r.Notes = append(r.Notes, benchObsOverhead())
 	return r, nil
+}
+
+// benchObsOverhead measures the observability layer's per-record cost in
+// this process, in both the disabled and enabled states, and renders it as a
+// machine note. A private registry and tracer keep the probes out of the
+// run's own OBS snapshot; the global enable flag is restored afterwards.
+func benchObsOverhead() string {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(1<<10, reg)
+	c := reg.Counter("bench.obs_probe")
+	h := reg.Histogram("bench.obs_probe")
+	perOp := func(iters int, f func()) float64 {
+		f() // warm up
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters)
+	}
+	prev := obs.SetEnabled(false)
+	offCounter := perOp(1_000_000, func() { c.Inc() })
+	offSpan := perOp(1_000_000, func() { tr.Begin("probe").End() })
+	obs.SetEnabled(true)
+	onCounter := perOp(1_000_000, func() { c.Inc() })
+	onHist := perOp(1_000_000, func() { h.ObserveNs(137) })
+	onSpan := perOp(200_000, func() { tr.Begin("probe").End() })
+	obs.SetEnabled(prev)
+	return fmt.Sprintf(
+		"obs overhead (this machine): disabled counter %.1fns/op, disabled span %.1fns/op; "+
+			"enabled counter %.1fns/op, histogram %.1fns/op, metrics-only span %.0fns/op",
+		offCounter, offSpan, onCounter, onHist, onSpan)
 }
 
 // benchConverter times sweep vs brute BuildStatic on one random frame of

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -64,25 +65,46 @@ type Robustness struct {
 	ReorderedFrames int
 }
 
-// Add accumulates o into r.
+// satAdd adds two non-negative counters, saturating at the int maximum
+// instead of wrapping negative. Intervention counts are never negative, so
+// saturation (not modular wrap) is the correct merge semantics for
+// long-running aggregations that fold millions of episodes.
+func satAdd(a, b int) int {
+	s := a + b
+	if s < a {
+		return math.MaxInt
+	}
+	return s
+}
+
+// Add accumulates o into r. Merging is overflow-safe: counters saturate at
+// the int maximum rather than wrapping, so repeated folds (Mean over
+// episodes, chaos-sweep aggregation, soak loops) can never report a negative
+// intervention count.
 func (r *Robustness) Add(o Robustness) {
-	r.RecoveredPanics += o.RecoveredPanics
-	r.Retries += o.Retries
-	r.Demotions += o.Demotions
-	r.DeadlineMisses += o.DeadlineMisses
-	r.DegradedSteps += o.DegradedSteps
-	r.SanitizedFrames += o.SanitizedFrames
-	r.DroppedFrames += o.DroppedFrames
-	r.DuplicateFrames += o.DuplicateFrames
-	r.ReorderedFrames += o.ReorderedFrames
+	r.RecoveredPanics = satAdd(r.RecoveredPanics, o.RecoveredPanics)
+	r.Retries = satAdd(r.Retries, o.Retries)
+	r.Demotions = satAdd(r.Demotions, o.Demotions)
+	r.DeadlineMisses = satAdd(r.DeadlineMisses, o.DeadlineMisses)
+	r.DegradedSteps = satAdd(r.DegradedSteps, o.DegradedSteps)
+	r.SanitizedFrames = satAdd(r.SanitizedFrames, o.SanitizedFrames)
+	r.DroppedFrames = satAdd(r.DroppedFrames, o.DroppedFrames)
+	r.DuplicateFrames = satAdd(r.DuplicateFrames, o.DuplicateFrames)
+	r.ReorderedFrames = satAdd(r.ReorderedFrames, o.ReorderedFrames)
 }
 
 // Interventions returns the total number of interventions of any kind —
-// a quick "did the runner have to do anything?" scalar.
+// a quick "did the runner have to do anything?" scalar. Saturating like Add.
 func (r Robustness) Interventions() int {
-	return r.RecoveredPanics + r.Retries + r.Demotions + r.DeadlineMisses +
-		r.DegradedSteps + r.SanitizedFrames + r.DroppedFrames +
-		r.DuplicateFrames + r.ReorderedFrames
+	total := 0
+	for _, v := range [...]int{
+		r.RecoveredPanics, r.Retries, r.Demotions, r.DeadlineMisses,
+		r.DegradedSteps, r.SanitizedFrames, r.DroppedFrames,
+		r.DuplicateFrames, r.ReorderedFrames,
+	} {
+		total = satAdd(total, v)
+	}
+	return total
 }
 
 // String renders the non-zero counters compactly for report tables.

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRobustnessAddSaturates folds counters near the int maximum and checks
+// every field pins at math.MaxInt instead of wrapping negative — the failure
+// mode a long soak loop would otherwise hit after ~2^63 interventions.
+func TestRobustnessAddSaturates(t *testing.T) {
+	big := Robustness{
+		RecoveredPanics: math.MaxInt - 1,
+		Retries:         math.MaxInt,
+		Demotions:       math.MaxInt - 2,
+		DeadlineMisses:  1,
+		DegradedSteps:   math.MaxInt,
+		SanitizedFrames: math.MaxInt,
+		DroppedFrames:   0,
+		DuplicateFrames: math.MaxInt / 2,
+		ReorderedFrames: math.MaxInt,
+	}
+	more := Robustness{
+		RecoveredPanics: 5,
+		Retries:         1,
+		Demotions:       1,
+		DeadlineMisses:  2,
+		DegradedSteps:   math.MaxInt,
+		SanitizedFrames: 0,
+		DroppedFrames:   7,
+		DuplicateFrames: math.MaxInt/2 + 10,
+		ReorderedFrames: 1,
+	}
+	r := big
+	r.Add(more)
+	want := Robustness{
+		RecoveredPanics: math.MaxInt,
+		Retries:         math.MaxInt,
+		Demotions:       math.MaxInt - 1,
+		DeadlineMisses:  3,
+		DegradedSteps:   math.MaxInt,
+		SanitizedFrames: math.MaxInt,
+		DroppedFrames:   7,
+		DuplicateFrames: math.MaxInt,
+		ReorderedFrames: math.MaxInt,
+	}
+	if r != want {
+		t.Errorf("saturating Add:\n got %+v\nwant %+v", r, want)
+	}
+	// No field may ever go negative, whatever the merge order.
+	for i := 0; i < 4; i++ {
+		r.Add(more)
+	}
+	for _, v := range []int{
+		r.RecoveredPanics, r.Retries, r.Demotions, r.DeadlineMisses,
+		r.DegradedSteps, r.SanitizedFrames, r.DroppedFrames,
+		r.DuplicateFrames, r.ReorderedFrames,
+	} {
+		if v < 0 {
+			t.Fatalf("counter wrapped negative: %+v", r)
+		}
+	}
+}
+
+// TestRobustnessInterventionsSaturates checks the total also saturates
+// rather than overflowing when individual fields are near the maximum.
+func TestRobustnessInterventionsSaturates(t *testing.T) {
+	r := Robustness{RecoveredPanics: math.MaxInt, Retries: math.MaxInt}
+	if got := r.Interventions(); got != math.MaxInt {
+		t.Errorf("Interventions() = %d, want MaxInt", got)
+	}
+	small := Robustness{Retries: 2, DroppedFrames: 3}
+	if got := small.Interventions(); got != 5 {
+		t.Errorf("Interventions() = %d, want 5", got)
+	}
+	var zero Robustness
+	if got := zero.Interventions(); got != 0 {
+		t.Errorf("Interventions() on zero value = %d, want 0", got)
+	}
+	if zero.String() != "clean" {
+		t.Errorf("zero String() = %q, want clean", zero.String())
+	}
+}
+
+// TestSatAddBounds exercises the helper directly at the boundary.
+func TestSatAddBounds(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{math.MaxInt, 0, math.MaxInt},
+		{math.MaxInt, 1, math.MaxInt},
+		{math.MaxInt - 1, 1, math.MaxInt},
+		{math.MaxInt, math.MaxInt, math.MaxInt},
+	}
+	for _, c := range cases {
+		if got := satAdd(c.a, c.b); got != c.want {
+			t.Errorf("satAdd(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The opt-in-cheap contract: disabled-state record calls must cost a
+// load-and-branch (single-digit ns). Run with
+//
+//	go test -bench=. -benchtime=100000000x ./internal/obs
+//
+// Representative 1-vCPU numbers (documented in BENCH_baseline.json notes):
+// disabled counter/gauge/histogram ~1-2 ns, disabled span ~2-4 ns; enabled
+// counter ~6 ns, histogram ~25 ns, metrics-only span ~90 ns, traced span
+// ~160 ns.
+
+func benchSetup(b *testing.B, metricsOn, tracingOn bool) {
+	b.Helper()
+	prevM := SetEnabled(metricsOn)
+	prevT := SetTracing(tracingOn)
+	b.Cleanup(func() {
+		SetEnabled(prevM)
+		SetTracing(prevT)
+	})
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	benchSetup(b, false, false)
+	c := NewRegistry().Counter("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	benchSetup(b, true, false)
+	c := NewRegistry().Counter("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	benchSetup(b, false, false)
+	h := NewRegistry().Histogram("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNs(int64(i))
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	benchSetup(b, true, false)
+	h := NewRegistry().Histogram("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNs(int64(i))
+	}
+}
+
+func BenchmarkGaugeDisabled(b *testing.B) {
+	benchSetup(b, false, false)
+	g := NewRegistry().Gauge("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkGaugeEnabled(b *testing.B) {
+	benchSetup(b, true, false)
+	g := NewRegistry().Gauge("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	benchSetup(b, false, false)
+	tr := NewTracer(1024, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Begin("bench").End()
+	}
+}
+
+// BenchmarkSpanMetricsOnly measures the rollup-only span path (metrics on,
+// ring off) — what every -exp run pays per phase without -trace.
+func BenchmarkSpanMetricsOnly(b *testing.B) {
+	benchSetup(b, true, false)
+	reg := NewRegistry()
+	tr := NewTracer(1024, reg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Begin("bench").End()
+	}
+}
+
+// BenchmarkSpanTraced measures the full path: clock, rollup histogram, and
+// ring-buffer record.
+func BenchmarkSpanTraced(b *testing.B) {
+	benchSetup(b, true, false)
+	reg := NewRegistry()
+	tr := NewTracer(1<<16, reg)
+	tr.SetEnabled(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Begin("bench").End()
+	}
+}
+
+// TestDisabledOverheadBudget enforces the opt-in-cheap acceptance criterion
+// in-tree: the disabled record path must stay in the single-digit-ns class.
+// The assertion budget is 25 ns/op — an order of magnitude above the ~1-2 ns
+// measured on a quiet machine — so real regressions (a map lookup, an
+// allocation, a time.Now) trip it while CI scheduling jitter does not.
+func TestDisabledOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates atomic ops ~40x; the budget only holds uninstrumented")
+	}
+	prevM := SetEnabled(false)
+	prevT := SetTracing(false)
+	defer func() {
+		SetEnabled(prevM)
+		SetTracing(prevT)
+	}()
+	reg := NewRegistry()
+	c := reg.Counter("budget")
+	h := reg.Histogram("budget")
+	tr := NewTracer(1024, reg)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter", func() { c.Inc() }},
+		{"histogram", func() { h.ObserveNs(7) }},
+		{"span", func() { tr.Begin("budget").End() }},
+	}
+	const budget = 25 * time.Nanosecond
+	for _, tc := range cases {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tc.fn()
+			}
+		})
+		perOp := time.Duration(res.NsPerOp())
+		t.Logf("disabled %s: %v/op (%d iters)", tc.name, perOp, res.N)
+		if perOp > budget {
+			t.Errorf("disabled %s record costs %v/op, budget %v", tc.name, perOp, budget)
+		}
+		if res.AllocsPerOp() != 0 {
+			t.Errorf("disabled %s record allocates (%d allocs/op)", tc.name, res.AllocsPerOp())
+		}
+	}
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatal("disabled path accumulated values")
+	}
+}

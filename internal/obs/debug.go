@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// DebugServer is the live observability endpoint started by
+// `aftersim -debug-addr`: /metrics (Prometheus text exposition),
+// /debug/vars (expvar JSON, including the obs registry snapshot under
+// "after_obs"), and the full /debug/pprof suite.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// publishOnce guards the expvar registration: expvar panics on duplicate
+// names, and tests may start several servers in one process.
+var publishOnce sync.Once
+
+// ServeDebug binds addr (e.g. ":6060") and serves the debug endpoints for
+// reg in a background goroutine. Binding errors are returned synchronously
+// so a bad -debug-addr fails fast instead of dying mid-run.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("after_obs", expvar.Func(func() any { return Default().Snapshot() }))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "aftersim debug endpoint\n\n"+
+			"  /metrics       Prometheus text exposition of the obs registry\n"+
+			"  /debug/vars    expvar JSON (obs snapshot under \"after_obs\")\n"+
+			"  /debug/pprof/  runtime profiles (cpu, heap, goroutine, ...)\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// The connection is gone; nothing useful to do.
+			_ = err
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		// ErrServerClosed (and the listener-closed error) are the normal
+		// shutdown path; anything else would have surfaced at bind time.
+		_ = ds.srv.Serve(ln)
+	}()
+	return ds, nil
+}
+
+// Addr returns the bound address (useful with ":0" in tests).
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// curveMu guards the optional JSONL training-curve sink.
+var (
+	curveMu sync.Mutex
+	curveW  io.Writer
+)
+
+// SetCurveWriter installs w as the JSONL sink for training-curve records
+// (nil disables). The training loop emits one record per epoch via
+// EmitCurve; cmd/aftersim points this at the -traincurve file.
+func SetCurveWriter(w io.Writer) {
+	curveMu.Lock()
+	curveW = w
+	curveMu.Unlock()
+}
+
+// EmitCurve marshals v as one JSONL line to the curve sink. No-op without a
+// sink; safe for concurrent emitters (grid candidates train in parallel).
+func EmitCurve(v any) {
+	curveMu.Lock()
+	defer curveMu.Unlock()
+	if curveW == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	curveW.Write(append(data, '\n'))
+}
+
+// CurveActive reports whether a curve sink is installed, letting the
+// training loop skip record construction entirely when nobody listens.
+func CurveActive() bool {
+	curveMu.Lock()
+	defer curveMu.Unlock()
+	return curveW != nil
+}

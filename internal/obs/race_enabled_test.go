@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector instruments this build;
+// overhead budgets are meaningless under instrumentation (an atomic load
+// costs ~40× its production price).
+const raceEnabled = true

@@ -1,0 +1,486 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; nil receivers no-op, so conditionally created handles can be
+// used unguarded.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (no-op while recording is disabled or on a nil handle).
+func (c *Counter) Add(n int64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (reads are never gated).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// reset zeroes the counter in place, keeping the handle valid.
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an atomic float64 gauge (queue depths, in-flight workers, last
+// epoch loss). The zero value is ready; nil receivers no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta with a CAS loop; used for +1/-1 in-flight tracking.
+func (g *Gauge) Add(delta float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) reset() { g.bits.Store(0) }
+
+// Histogram bucket layout: log-spaced with bucketsPerOctave sub-buckets per
+// power of two, covering the full positive int64 range. Observations are
+// nanoseconds by convention (Observe takes a time.Duration; ObserveNs is the
+// raw escape hatch), and the within-bucket relative error of a quantile
+// estimate is at most 1/bucketsPerOctave = 25%.
+const (
+	bucketsPerOctave = 4
+	numBuckets       = 64 * bucketsPerOctave
+)
+
+// bucketIndex maps a value to its bucket: exponent (position of the most
+// significant bit) times bucketsPerOctave, plus the next two mantissa bits.
+// Non-positive values land in bucket 0.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	u := uint64(v)
+	exp := uint(bits.Len64(u)) - 1 // 0..63
+	var frac uint64
+	if exp >= 2 {
+		frac = (u >> (exp - 2)) & 3
+	} else {
+		frac = (u << (2 - exp)) & 3
+	}
+	return int(exp)*bucketsPerOctave + int(frac)
+}
+
+// bucketLo returns the inclusive lower bound of bucket i; bucketHi(i) is
+// bucketLo(i+1). Saturates at MaxInt64 for the top octave.
+func bucketLo(i int) int64 {
+	exp := uint(i / bucketsPerOctave)
+	frac := uint64(i % bucketsPerOctave)
+	if exp >= 62 {
+		// (4+frac)<<exp would overflow; beyond ~292 years of nanoseconds
+		// the exact boundary is academic.
+		return math.MaxInt64
+	}
+	return int64((4 + frac) << exp / 4)
+}
+
+func bucketHi(i int) int64 {
+	if i+1 >= numBuckets {
+		return math.MaxInt64
+	}
+	lo := bucketLo(i)
+	hi := bucketLo(i + 1)
+	if hi <= lo {
+		// Integer division collapses sub-buckets in the first two octaves
+		// (values 1..3); keep every bucket at least one unit wide.
+		hi = lo + 1
+	}
+	return hi
+}
+
+// Histogram is a concurrent log-bucketed latency histogram reporting
+// count/sum/mean and p50/p95/p99/max. The zero value is ready; nil
+// receivers no-op.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one raw (nanosecond by convention) observation.
+func (h *Histogram) ObserveNs(v int64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	h.observeNs(v)
+}
+
+// observeNs is ObserveNs without the enable gate — the tracer uses it so
+// span rollups accumulate whenever tracing is on, independent of the
+// metrics gate.
+func (h *Histogram) observeNs(v int64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old {
+			return
+		}
+		if h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by walking the cumulative
+// bucket counts and interpolating linearly inside the crossing bucket. The
+// estimate is clamped to the exact observed maximum, so Quantile(1) is
+// precise and high quantiles never overshoot.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	maxv := h.max.Load()
+	for i := 0; i < numBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketLo(i), bucketHi(i)
+			if hi > maxv {
+				hi = maxv // the top occupied bucket can't exceed the max
+			}
+			if hi < lo {
+				return lo
+			}
+			frac := float64(rank-cum) / float64(n)
+			est := float64(lo) + frac*float64(hi-lo)
+			return int64(est)
+		}
+		cum += n
+	}
+	return maxv
+}
+
+// Max returns the exact maximum observation.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Registry is a named metric namespace. All getters are get-or-create and
+// return stable handles; Reset zeroes values without invalidating handles.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// def is the process-wide default registry every instrumented package
+// records into; cmd/aftersim snapshots and serves it.
+var def = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return def }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every metric in place. Handles cached by instrumented
+// packages stay valid; cmd/aftersim calls this between experiments so each
+// OBS_<exp>.json snapshot covers exactly one run.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
+	for _, h := range r.histograms {
+		h.reset()
+	}
+}
+
+// HistogramSnapshot is one histogram's rollup in a Snapshot.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	SumNs  int64   `json:"sum_ns"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// Snapshot is a point-in-time copy of a registry, the schema of the
+// OBS_<exp>.json artifacts.
+type Snapshot struct {
+	Timestamp  string                       `json:"timestamp"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Count: h.Count(),
+			SumNs: h.Sum(),
+			P50Ns: h.Quantile(0.50),
+			P95Ns: h.Quantile(0.95),
+			P99Ns: h.Quantile(0.99),
+			MaxNs: h.Max(),
+		}
+		if hs.Count > 0 {
+			hs.MeanNs = float64(hs.SumNs) / float64(hs.Count)
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes an indented snapshot of the registry to path.
+func (r *Registry) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (hand-rolled — no client library). Counters and gauges map
+// directly; histograms are exposed as summaries with quantile labels plus
+// _sum and _count series. Output is sorted by name so scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", typeName(p), p, r.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", typeName(p), p, r.gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.histograms[name]
+		p := sanitizeMetricName(name)
+		base := typeName(p)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", base); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			label string
+			q     float64
+		}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}} {
+			if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(p, "quantile", q.label), h.Quantile(q.q)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", base, h.Sum(), base, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// typeName strips a label block: `after_sim_step{rec="X"}` → `after_sim_step`.
+func typeName(p string) string {
+	if i := strings.IndexByte(p, '{'); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+// withLabel merges one more label into a (possibly already labeled) series
+// name: `m{a="b"}` + quantile → `m{a="b",quantile="0.5"}`.
+func withLabel(p, key, value string) string {
+	if strings.IndexByte(p, '{') >= 0 {
+		return p[:len(p)-1] + `,` + key + `="` + value + `"}`
+	}
+	return p + `{` + key + `="` + value + `"}`
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withEnabled runs f with the metrics gate pinned on (restoring the prior
+// state), the common setup of nearly every test here. Tests in this package
+// must not run in parallel: the gate is process-global.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	f()
+}
+
+// TestBucketBoundaries pins the log-bucket layout: bucket index and lower
+// bound must agree, indexes must be monotone, and the first octaves must
+// land exactly where the 4-subbuckets-per-octave scheme says.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 4}, {3, 6},
+		{4, 8}, {5, 9}, {6, 10}, {7, 11},
+		{8, 12}, {9, 12}, {10, 13}, {11, 13}, {12, 14}, {14, 15},
+		{16, 16}, {1023, 4*9 + 3}, {1024, 4 * 10}, {1025, 4 * 10},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every value must fall inside [bucketLo(i), bucketHi(i)).
+	for _, v := range []int64{1, 2, 3, 7, 8, 100, 999, 4096, 1 << 20, 1<<40 + 12345} {
+		i := bucketIndex(v)
+		lo, hi := bucketLo(i), bucketHi(i)
+		if v < lo || v >= hi {
+			t.Errorf("value %d in bucket %d outside [%d, %d)", v, i, lo, hi)
+		}
+	}
+	// Monotone lower bounds until saturation.
+	prev := int64(0)
+	for i := 0; i < numBuckets; i++ {
+		lo := bucketLo(i)
+		if lo < prev {
+			t.Fatalf("bucketLo(%d) = %d < bucketLo(%d) = %d", i, lo, i-1, prev)
+		}
+		prev = lo
+	}
+	if bucketLo(numBuckets-1) != math.MaxInt64 {
+		t.Errorf("top bucket lower bound should saturate at MaxInt64")
+	}
+}
+
+// TestHistogramQuantiles checks the p50/p95/p99 estimates against a known
+// distribution: log bucketing guarantees ≤25% relative error, and the max
+// must be exact.
+func TestHistogramQuantiles(t *testing.T) {
+	withEnabled(t, func() {
+		h := &Histogram{}
+		// 1..1000: true p50 = 500, p95 = 950, p99 = 990.
+		for v := int64(1); v <= 1000; v++ {
+			h.ObserveNs(v)
+		}
+		if h.Count() != 1000 {
+			t.Fatalf("count = %d, want 1000", h.Count())
+		}
+		if h.Sum() != 1000*1001/2 {
+			t.Fatalf("sum = %d, want %d", h.Sum(), 1000*1001/2)
+		}
+		if h.Max() != 1000 {
+			t.Fatalf("max = %d, want 1000", h.Max())
+		}
+		check := func(q float64, want int64) {
+			got := h.Quantile(q)
+			rel := math.Abs(float64(got-want)) / float64(want)
+			if rel > 0.25 {
+				t.Errorf("Quantile(%.2f) = %d, want %d ±25%%", q, got, want)
+			}
+		}
+		check(0.50, 500)
+		check(0.95, 950)
+		check(0.99, 990)
+		if got := h.Quantile(1); got != 1000 {
+			t.Errorf("Quantile(1) = %d, want exact max 1000", got)
+		}
+		// Degenerate single-value histogram: every quantile is that value.
+		h2 := &Histogram{}
+		h2.Observe(42 * time.Nanosecond)
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h2.Quantile(q); got < 32 || got > 42 {
+				t.Errorf("single-value Quantile(%.2f) = %d, want within [32,42]", q, got)
+			}
+		}
+		// Empty histogram: zeros across the board.
+		h3 := &Histogram{}
+		if h3.Quantile(0.5) != 0 || h3.Max() != 0 || h3.Count() != 0 {
+			t.Errorf("empty histogram should report zeros")
+		}
+	})
+}
+
+// TestDisabledIsInert proves the opt-in contract: without SetEnabled(true),
+// nothing accumulates and nil handles are safe.
+func TestDisabledIsInert(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	r := NewRegistry()
+	c, g, h := r.Counter("c"), r.Gauge("g"), r.Histogram("h")
+	c.Inc()
+	c.Add(10)
+	g.Set(3)
+	g.Add(4)
+	h.Observe(time.Millisecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled metrics accumulated: c=%d g=%g h=%d", c.Value(), g.Value(), h.Count())
+	}
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	nc.Inc()
+	ng.Set(1)
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+}
+
+// TestResetKeepsHandles: Reset must zero values in place so cached handles
+// (the idiom of every instrumented package) survive.
+func TestResetKeepsHandles(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		c, g, h := r.Counter("x"), r.Gauge("y"), r.Histogram("z")
+		c.Add(7)
+		g.Set(1.5)
+		h.ObserveNs(100)
+		r.Reset()
+		if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Max() != 0 {
+			t.Fatalf("Reset left values: c=%d g=%g h=%d", c.Value(), g.Value(), h.Count())
+		}
+		c.Inc()
+		h.ObserveNs(5)
+		if r.Counter("x") != c {
+			t.Fatal("Reset invalidated the counter handle")
+		}
+		if c.Value() != 1 || h.Count() != 1 {
+			t.Fatalf("handles dead after Reset: c=%d h=%d", c.Value(), h.Count())
+		}
+	})
+}
+
+// TestConcurrentHammer drives counters, gauges, and one histogram from many
+// goroutines; totals must be exact (run under -race in CI).
+func TestConcurrentHammer(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		const workers, iters = 16, 5000
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				c := r.Counter("hammer.count") // get-or-create races too
+				g := r.Gauge("hammer.inflight")
+				h := r.Histogram("hammer.lat")
+				for i := 0; i < iters; i++ {
+					g.Add(1)
+					c.Inc()
+					h.ObserveNs(int64(w*iters + i))
+					g.Add(-1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := r.Counter("hammer.count").Value(); got != workers*iters {
+			t.Fatalf("counter = %d, want %d", got, workers*iters)
+		}
+		if got := r.Gauge("hammer.inflight").Value(); got != 0 {
+			t.Fatalf("gauge = %g, want 0", got)
+		}
+		h := r.Histogram("hammer.lat")
+		if h.Count() != workers*iters {
+			t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+		}
+		if h.Max() != workers*iters-1 {
+			t.Fatalf("histogram max = %d, want %d", h.Max(), workers*iters-1)
+		}
+	})
+}
+
+// TestSnapshotAndJSON checks the OBS_*.json schema round-trips with the
+// values that went in.
+func TestSnapshotAndJSON(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.Counter("runs").Add(3)
+		r.Gauge("loss").Set(0.25)
+		for i := 1; i <= 100; i++ {
+			r.Histogram("lat").ObserveNs(int64(i))
+		}
+		s := r.Snapshot()
+		if s.Counters["runs"] != 3 || s.Gauges["loss"] != 0.25 {
+			t.Fatalf("snapshot scalar mismatch: %+v", s)
+		}
+		hs := s.Histograms["lat"]
+		if hs.Count != 100 || hs.MaxNs != 100 || hs.SumNs != 5050 || hs.MeanNs != 50.5 {
+			t.Fatalf("snapshot histogram mismatch: %+v", hs)
+		}
+		if hs.P50Ns <= 0 || hs.P95Ns < hs.P50Ns || hs.P99Ns < hs.P95Ns || hs.MaxNs < hs.P99Ns {
+			t.Fatalf("quantiles not ordered: %+v", hs)
+		}
+		path := t.TempDir() + "/obs.json"
+		if err := r.WriteJSON(path); err != nil {
+			t.Fatal(err)
+		}
+		var back Snapshot
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("snapshot is not valid JSON: %v", err)
+		}
+		if back.Counters["runs"] != 3 || back.Histograms["lat"].Count != 100 {
+			t.Fatalf("round-trip mismatch: %+v", back)
+		}
+	})
+}
+
+// TestPrometheusExposition checks the hand-rolled text format: counter,
+// gauge, and summary lines with sanitized names and merged labels.
+func TestPrometheusExposition(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.Counter("resilience.retries").Add(2)
+		r.Gauge("parallel.inflight_workers").Set(4)
+		h := r.Histogram(Label("sim.step", "rec", "POSHGNN"))
+		h.ObserveNs(1000)
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		for _, want := range []string{
+			"# TYPE after_resilience_retries counter",
+			"after_resilience_retries 2",
+			"# TYPE after_parallel_inflight_workers gauge",
+			"after_parallel_inflight_workers 4",
+			"# TYPE after_sim_step summary",
+			`after_sim_step{rec="POSHGNN",quantile="0.5"}`,
+			`after_sim_step{rec="POSHGNN",quantile="0.99"}`,
+			"after_sim_step_sum 1000",
+			"after_sim_step_count 1",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("exposition missing %q in:\n%s", want, out)
+			}
+		}
+	})
+}
+
+// TestLabelAndSanitize pins the labeled-name helpers.
+func TestLabelAndSanitize(t *testing.T) {
+	if got := Label("sim.step", "rec", "TGCN"); got != `sim.step{rec="TGCN"}` {
+		t.Errorf("Label = %q", got)
+	}
+	cases := map[string]string{
+		"a.b.c":             "after_a_b_c",
+		`x.y{rec="A-1"}`:    `after_x_y{rec="A-1"}`,
+		"train.epoch_ns":    "after_train_epoch_ns",
+		"span.step.POSHGNN": "after_span_step_POSHGNN",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

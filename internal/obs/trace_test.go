@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTracerDisabledInert: with neither tracing nor metrics on, Begin
+// returns the zero Span and records nothing.
+func TestTracerDisabledInert(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	tr := NewTracer(8, nil)
+	sp := tr.Begin("x")
+	if sp.t != nil {
+		t.Fatal("disabled Begin should return an inert span")
+	}
+	sp.End()
+	if tr.next.Load() != 0 {
+		t.Fatal("inert span recorded into the ring")
+	}
+}
+
+// TestTracerMetricsOnlyRollup: metrics on, tracing off — spans skip the
+// ring but still feed the span.<name> rollup histogram.
+func TestTracerMetricsOnlyRollup(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	reg := NewRegistry()
+	tr := NewTracer(8, reg)
+	sp := tr.Begin("phase")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if tr.next.Load() != 0 {
+		t.Fatal("untraced span landed in the ring")
+	}
+	h := reg.Histogram("span.phase")
+	if h.Count() != 1 {
+		t.Fatalf("rollup count = %d, want 1", h.Count())
+	}
+	if h.Max() < int64(500*time.Microsecond) {
+		t.Fatalf("rollup max = %dns, want ≥ 0.5ms", h.Max())
+	}
+}
+
+// TestTracerRingWraparound fills a tiny ring past capacity and checks the
+// export retains exactly the newest spans with the right dropped count.
+func TestTracerRingWraparound(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	tr := NewTracer(8, nil)
+	tr.SetEnabled(true)
+	const total = 20
+	for i := 0; i < total; i++ {
+		sp := tr.Begin(fmt.Sprintf("s%02d", i))
+		sp.End()
+	}
+	if got := tr.Dropped(); got != total-8 {
+		t.Fatalf("Dropped = %d, want %d", got, total-8)
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		Metadata        map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 8 {
+		t.Fatalf("retained %d events, want 8", len(out.TraceEvents))
+	}
+	// Only the last 8 span names survive the wrap.
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event phase %q, want X", ev.Ph)
+		}
+		var idx int
+		if _, err := fmt.Sscanf(ev.Name, "s%d", &idx); err != nil || idx < total-8 {
+			t.Errorf("stale span %q survived the wrap", ev.Name)
+		}
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	if got, ok := out.Metadata["spansDropped"].(float64); !ok || got != total-8 {
+		t.Errorf("metadata spansDropped = %v, want %d", out.Metadata["spansDropped"], total-8)
+	}
+}
+
+// TestTracerChromeEventShape records one real span and checks the exported
+// event's timing fields are sane microsecond values.
+func TestTracerChromeEventShape(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	tr := NewTracer(4, nil)
+	tr.SetEnabled(true)
+	sp := tr.Begin("work")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out chromeTrace
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TraceEvents) != 1 {
+		t.Fatalf("got %d events, want 1", len(out.TraceEvents))
+	}
+	ev := out.TraceEvents[0]
+	if ev.Name != "work" || ev.Pid != 1 || ev.Cat != "after" {
+		t.Errorf("event identity wrong: %+v", ev)
+	}
+	if ev.Dur < 1500 { // microseconds: slept 2ms
+		t.Errorf("dur = %vus, want ≥ 1500us", ev.Dur)
+	}
+}
+
+// TestTracerLanes: overlapping spans get distinct display lanes.
+func TestTracerLanes(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	tr := NewTracer(4, nil)
+	tr.SetEnabled(true)
+	a := tr.Begin("outer")
+	b := tr.Begin("inner")
+	if a.lane == b.lane {
+		t.Fatalf("overlapping spans share lane %d", a.lane)
+	}
+	b.End()
+	a.End()
+	if tr.active.Load() != 0 {
+		t.Fatalf("active = %d after all spans ended", tr.active.Load())
+	}
+}
+
+// TestServeDebug boots the live endpoint on a random port and exercises
+// /metrics, /debug/vars, and /debug/pprof/.
+func TestServeDebug(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	reg := NewRegistry()
+	reg.Counter("test.requests").Add(9)
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "after_test_requests 9") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "after_obs") {
+		t.Errorf("/debug/vars: code=%d missing after_obs", code)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code=%d", code)
+	}
+	if code, _ := get("/"); code != 200 {
+		t.Errorf("/: code=%d", code)
+	}
+	if code, _ := get("/nonexistent"); code != 404 {
+		t.Errorf("/nonexistent: code=%d, want 404", code)
+	}
+
+	// A second server must not re-panic on the expvar publish.
+	srv2, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Close()
+
+	// Bad address fails fast.
+	if _, err := ServeDebug("256.256.256.256:99999", reg); err == nil {
+		t.Error("bad -debug-addr should fail fast")
+	}
+}
+
+// TestCurveWriter exercises the JSONL training-curve sink.
+func TestCurveWriter(t *testing.T) {
+	var b bytes.Buffer
+	SetCurveWriter(&b)
+	defer SetCurveWriter(nil)
+	if !CurveActive() {
+		t.Fatal("CurveActive should be true with a sink installed")
+	}
+	EmitCurve(map[string]any{"epoch": 0, "loss": 1.5})
+	EmitCurve(map[string]any{"epoch": 1, "loss": 1.25})
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+	}
+	SetCurveWriter(nil)
+	if CurveActive() {
+		t.Fatal("CurveActive should be false after clearing")
+	}
+	EmitCurve(map[string]any{"dropped": true}) // must not panic
+}

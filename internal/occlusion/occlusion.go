@@ -24,6 +24,7 @@ import (
 
 	"after/internal/crowd"
 	"after/internal/geom"
+	"after/internal/obs"
 	"after/internal/parallel"
 	"after/internal/tensor"
 )
@@ -394,12 +395,15 @@ func (d *DOG) At(t int) *StaticGraph { return d.Frames[t] }
 // BuildDOG converts a full trajectory trace into the target user's dynamic
 // occlusion graph, one frame per recorded step. Frames are independent, so
 // they are built concurrently on the parallel worker pool; the result is
-// identical for any worker count.
+// identical for any worker count. Each conversion is a `dog` span (rolled up
+// into the span.dog phase histogram when obs is enabled).
 func BuildDOG(target int, tr *crowd.Trajectories, radius float64) *DOG {
+	sp := obs.Begin("dog")
 	d := &DOG{Target: target, Frames: make([]*StaticGraph, tr.Steps())}
 	parallel.ForEach(tr.Steps(), func(t int) {
 		d.Frames[t] = BuildStatic(target, tr.Pos[t], radius)
 	})
+	sp.End()
 	return d
 }
 

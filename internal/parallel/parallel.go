@@ -17,6 +17,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"after/internal/obs"
+)
+
+// Pool metrics (live only while obs is enabled): fan-out and task counts,
+// in-flight worker and unclaimed-queue-depth gauges, and a task-wait
+// histogram measuring how long each item sat between fan-out start and
+// being claimed by a worker. Handles are cached here and survive registry
+// resets.
+var (
+	obsFanouts    = obs.Default().Counter("parallel.fanouts")
+	obsTasks      = obs.Default().Counter("parallel.tasks")
+	obsInflight   = obs.Default().Gauge("parallel.inflight_workers")
+	obsQueueDepth = obs.Default().Gauge("parallel.queue_depth")
+	obsTaskWait   = obs.Default().Histogram("parallel.task_wait")
+	obsTaskDur    = obs.Default().Histogram("parallel.task")
 )
 
 // limit is the configured worker bound; 0 means "use GOMAXPROCS at call
@@ -62,13 +79,20 @@ func ForEach(n int, fn func(i int)) {
 
 // ForEachN is ForEach with an explicit worker bound, for call sites that must
 // not inherit the global setting (e.g. nested fan-outs that would
-// oversubscribe).
+// oversubscribe). When obs is enabled the fan-out additionally records pool
+// metrics (fanouts/tasks counters, in-flight and queue-depth gauges, task
+// wait/duration histograms); disabled, the loop bodies are byte-for-byte the
+// pre-observability ones.
 func ForEachN(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	if workers > n {
 		workers = n
+	}
+	if obs.On() {
+		forEachObserved(n, workers, fn)
+		return
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -88,6 +112,48 @@ func ForEachN(n, workers int, fn func(i int)) {
 					return
 				}
 				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// forEachObserved is the instrumented twin of ForEachN's dispatch loops. The
+// task-wait histogram records, per item, the delay between fan-out start and
+// the item being claimed — the pool's queueing latency; the queue-depth
+// gauge tracks unclaimed items as workers drain them.
+func forEachObserved(n, workers int, fn func(i int)) {
+	obsFanouts.Inc()
+	obsTasks.Add(int64(n))
+	start := time.Now()
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			obsQueueDepth.Set(float64(n - 1 - i))
+			obsTaskWait.Observe(time.Since(start))
+			t0 := time.Now()
+			fn(i)
+			obsTaskDur.Observe(time.Since(t0))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			obsInflight.Add(1)
+			defer obsInflight.Add(-1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				obsQueueDepth.Set(float64(n - 1 - i))
+				obsTaskWait.Observe(time.Since(start))
+				t0 := time.Now()
+				fn(i)
+				obsTaskDur.Observe(time.Since(t0))
 			}
 		}()
 	}

@@ -32,6 +32,7 @@ import (
 	"after/internal/crowd"
 	"after/internal/geom"
 	"after/internal/metrics"
+	"after/internal/obs"
 	"after/internal/sim"
 )
 
@@ -153,3 +154,68 @@ func (s *sanitizer) sanitize(raw []geom.Vec2) (pos []geom.Vec2, repaired bool) {
 // Counters is re-exported for convenience: the runner's tallies are plain
 // metrics.Robustness values.
 type Counters = metrics.Robustness
+
+// kind indexes one intervention class. The runner books every intervention
+// through exactly one code path (tally.bump), which feeds both the episode's
+// metrics.Robustness and the process-wide obs counters — the single source
+// of truth the chaos sweep and the live /metrics endpoint share.
+type kind int
+
+const (
+	kindRecoveredPanic kind = iota
+	kindRetry
+	kindDemotion
+	kindDeadlineMiss
+	kindDegradedStep
+	kindSanitizedFrame
+	kindDroppedFrame
+	kindDuplicateFrame
+	kindReorderedFrame
+	numKinds
+)
+
+// obsCounters are the process-wide intervention counters (obs-gated, cached
+// across registry resets), index-aligned with the kind enum.
+var obsCounters = [numKinds]*obs.Counter{
+	obs.Default().Counter("resilience.recovered_panics"),
+	obs.Default().Counter("resilience.retries"),
+	obs.Default().Counter("resilience.demotions"),
+	obs.Default().Counter("resilience.deadline_misses"),
+	obs.Default().Counter("resilience.degraded_steps"),
+	obs.Default().Counter("resilience.sanitized_frames"),
+	obs.Default().Counter("resilience.dropped_frames"),
+	obs.Default().Counter("resilience.duplicate_frames"),
+	obs.Default().Counter("resilience.reordered_frames"),
+}
+
+// tally is one episode's intervention counts.
+type tally [numKinds]int64
+
+// bump books one intervention: the per-episode tally always, the global obs
+// counter when observability is on.
+func (t *tally) bump(k kind) {
+	t[k]++
+	obsCounters[k].Inc()
+}
+
+// robustness converts the episode tally to the metrics.Robustness attached
+// to the episode Result, saturating at the int range on 32-bit platforms.
+func (t *tally) robustness() metrics.Robustness {
+	toInt := func(v int64) int {
+		if v > math.MaxInt {
+			return math.MaxInt
+		}
+		return int(v)
+	}
+	return metrics.Robustness{
+		RecoveredPanics: toInt(t[kindRecoveredPanic]),
+		Retries:         toInt(t[kindRetry]),
+		Demotions:       toInt(t[kindDemotion]),
+		DeadlineMisses:  toInt(t[kindDeadlineMiss]),
+		DegradedSteps:   toInt(t[kindDegradedStep]),
+		SanitizedFrames: toInt(t[kindSanitizedFrame]),
+		DroppedFrames:   toInt(t[kindDroppedFrame]),
+		DuplicateFrames: toInt(t[kindDuplicateFrame]),
+		ReorderedFrames: toInt(t[kindReorderedFrame]),
+	}
+}

@@ -18,8 +18,8 @@ type runner struct {
 	cfg    Config
 	src    Source
 
-	san      *sanitizer
-	counters Counters
+	san  *sanitizer
+	tly  tally
 
 	chain    []sim.Recommender
 	chainIdx int
@@ -78,13 +78,13 @@ func RunEpisodeTrace(rec sim.Recommender, room *dataset.Room, truth *occlusion.D
 		raw, ok := r.frameFor(t)
 		if !ok {
 			// Gap or exhausted stream: bridge with the last rendered set.
-			r.counters.DroppedFrames++
+			r.tly.bump(kindDroppedFrame)
 			rendered[t] = r.degrade()
 			continue
 		}
 		pos, repaired := r.san.sanitize(raw)
 		if repaired {
-			r.counters.SanitizedFrames++
+			r.tly.bump(kindSanitizedFrame)
 		}
 		frame := occlusion.BuildStatic(r.target, pos, room.AvatarRadius)
 		if r.stepper == nil {
@@ -107,13 +107,13 @@ func RunEpisodeTrace(rec sim.Recommender, room *dataset.Room, truth *occlusion.D
 		return sim.EpisodeResult{}, nil, err
 	}
 	res.StepTime = elapsed / time.Duration(steps)
-	res.Robustness = r.counters
+	res.Robustness = r.tly.robustness()
 	return sim.EpisodeResult{Recommender: rec.Name(), Target: truth.Target, Result: res}, rendered, nil
 }
 
 // degrade serves the current step from the last good rendered set.
 func (r *runner) degrade() []bool {
-	r.counters.DegradedSteps++
+	r.tly.bump(kindDegradedStep)
 	out := make([]bool, len(r.lastRendered))
 	copy(out, r.lastRendered)
 	return out
@@ -179,9 +179,9 @@ func (r *runner) frameFor(t int) ([]geom.Vec2, bool) {
 // duplicate, anything else arrived out of order.
 func (r *runner) classifyStale(index int) {
 	if index == r.lastIndex {
-		r.counters.DuplicateFrames++
+		r.tly.bump(kindDuplicateFrame)
 	} else {
-		r.counters.ReorderedFrames++
+		r.tly.bump(kindReorderedFrame)
 	}
 }
 
@@ -199,10 +199,10 @@ func (r *runner) protectedStep(t int, frame *occlusion.StaticGraph) ([]bool, boo
 				r.latePanics = 0
 				return out, true
 			case stepPanicked:
-				r.counters.RecoveredPanics++
+				r.tly.bump(kindRecoveredPanic)
 				if retriesLeft > 0 {
 					retriesLeft--
-					r.counters.Retries++
+					r.tly.bump(kindRetry)
 					r.backoff(attempt)
 					continue
 				}
@@ -211,7 +211,7 @@ func (r *runner) protectedStep(t int, frame *occlusion.StaticGraph) ([]bool, boo
 			case stepDeadlineKept:
 				// Missed the deadline but the straggler finished within
 				// the grace period: serve stale now, keep the stepper.
-				r.counters.DeadlineMisses++
+				r.tly.bump(kindDeadlineMiss)
 				r.latePanics = 0
 				return nil, false
 			case stepDeadlineLatePanic:
@@ -220,8 +220,8 @@ func (r *runner) protectedStep(t int, frame *occlusion.StaticGraph) ([]bool, boo
 				// instant demotion — the frame is served stale either way —
 				// but a stepper that keeps dying late is written off once
 				// it exhausts the retry budget in consecutive misses.
-				r.counters.DeadlineMisses++
-				r.counters.RecoveredPanics++
+				r.tly.bump(kindDeadlineMiss)
+				r.tly.bump(kindRecoveredPanic)
 				r.latePanics++
 				if r.latePanics > r.cfg.MaxRetries {
 					r.demote()
@@ -231,7 +231,7 @@ func (r *runner) protectedStep(t int, frame *occlusion.StaticGraph) ([]bool, boo
 				// Straggler still running after the grace period: it is
 				// written off (the goroutine drains harmlessly) and the
 				// chain demotes for future steps.
-				r.counters.DeadlineMisses++
+				r.tly.bump(kindDeadlineMiss)
 				r.demote()
 				return nil, false
 			}
@@ -245,7 +245,7 @@ func (r *runner) protectedStep(t int, frame *occlusion.StaticGraph) ([]bool, boo
 // at the current episode position, or enters permanent hold-last-set mode
 // when the chain is exhausted.
 func (r *runner) demote() {
-	r.counters.Demotions++
+	r.tly.bump(kindDemotion)
 	r.chainIdx++
 	if r.chainIdx < len(r.chain) {
 		r.stepper = r.chain[r.chainIdx].StartEpisode(r.room, r.target)

@@ -1,0 +1,119 @@
+package sim_test
+
+// Instrumentation must be an observer, never a participant: running the
+// harness with the obs registry and tracer enabled has to produce exactly
+// the numbers a bare run produces, with one worker or many. These tests
+// enforce that contract and additionally check the instrumentation actually
+// recorded something — a per-recommender step histogram and the per-phase
+// span rollups of the POSHGNN pipeline.
+
+import (
+	"strings"
+	"testing"
+
+	"after/internal/metrics"
+	"after/internal/obs"
+	"after/internal/parallel"
+	"after/internal/sim"
+)
+
+// runEval evaluates the determinism recommender set under the given worker
+// count, with wall-clock timing stripped.
+func runEval(t *testing.T, workers int) map[string]metrics.Result {
+	t.Helper()
+	room := determinismRoom(t)
+	targets := sim.DefaultTargets(room, 3)
+	var out map[string]metrics.Result
+	var err error
+	parallel.WithLimit(workers, func() {
+		out, err = sim.Evaluate(determinismRecs(), room, targets, 0.5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range out {
+		out[name] = stripTiming(r)
+	}
+	return out
+}
+
+// TestObsNeutrality compares a bare run against an instrumented run (metrics
+// + tracing) and against an instrumented many-worker run. All three must be
+// bit-identical; only StepTime (excluded) may differ.
+func TestObsNeutrality(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(false))
+	defer obs.SetTracing(obs.SetTracing(false))
+
+	bare := runEval(t, 1)
+
+	obs.SetEnabled(true)
+	obs.SetTracing(true)
+	obs.Default().Reset()
+	instr := runEval(t, 1)
+	instrPar := runEval(t, 8)
+
+	if len(instr) != len(bare) || len(instrPar) != len(bare) {
+		t.Fatalf("recommender counts differ: bare %d, instr %d, instr-parallel %d",
+			len(bare), len(instr), len(instrPar))
+	}
+	for name, b := range bare {
+		if instr[name] != b {
+			t.Errorf("%s: instrumented %+v != bare %+v", name, instr[name], b)
+		}
+		if instrPar[name] != b {
+			t.Errorf("%s: instrumented parallel %+v != bare %+v", name, instrPar[name], b)
+		}
+	}
+}
+
+// TestObsRecordsPipeline runs one instrumented evaluation and asserts the
+// registry captured what the dashboards rely on: a non-empty step-latency
+// histogram per recommender, the POSHGNN per-phase rollups, and the episode
+// counter.
+func TestObsRecordsPipeline(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(true))
+	obs.Default().Reset()
+
+	results := runEval(t, 4)
+	snap := obs.Default().Snapshot()
+
+	for name := range results {
+		key := obs.Label("sim.step", "rec", name)
+		h, ok := snap.Histograms[key]
+		if !ok || h.Count == 0 {
+			t.Errorf("no step-latency samples for %q (key %q)", name, key)
+		}
+		span := "span.step." + name
+		if h, ok := snap.Histograms[span]; !ok || h.Count == 0 {
+			t.Errorf("no span rollup for %q", span)
+		}
+	}
+	for _, phase := range []string{"span.dog", "span.mia", "span.pdr", "span.lwp", "span.decode"} {
+		h, ok := snap.Histograms[phase]
+		if !ok || h.Count == 0 {
+			t.Errorf("phase rollup %q missing or empty", phase)
+			continue
+		}
+		if h.MeanNs < 0 || h.MaxNs < h.P50Ns {
+			t.Errorf("phase rollup %q has inconsistent stats: %+v", phase, h)
+		}
+	}
+	if snap.Counters["sim.episodes"] == 0 {
+		t.Error("sim.episodes counter never incremented")
+	}
+	// The episodes fanned out over the pool, so the worker-pool metrics must
+	// have seen work too.
+	if snap.Counters["parallel.tasks"] == 0 {
+		t.Error("parallel.tasks counter never incremented")
+	}
+	if h := snap.Histograms["parallel.task"]; h.Count == 0 {
+		t.Error("parallel.task histogram empty")
+	}
+	// Sanity: no metric name escapes the registry unsanitized into keys with
+	// spaces (would break the Prometheus exposition).
+	for k := range snap.Histograms {
+		if strings.ContainsAny(k, " \t\n") {
+			t.Errorf("histogram key %q contains whitespace", k)
+		}
+	}
+}

@@ -11,9 +11,13 @@ import (
 
 	"after/internal/dataset"
 	"after/internal/metrics"
+	"after/internal/obs"
 	"after/internal/occlusion"
 	"after/internal/parallel"
 )
+
+// obsEpisodes counts completed episodes across the harness (obs-gated).
+var obsEpisodes = obs.Default().Counter("sim.episodes")
 
 // ErrEmptyEpisode is returned (wrapped) when an episode's DOG has zero
 // frames: there is nothing to step, and the mean-step-time division would
@@ -76,12 +80,26 @@ func RunEpisodeTrace(rec Recommender, room *dataset.Room, dog *occlusion.DOG, be
 	}
 	stepper := rec.StartEpisode(room, dog.Target)
 	rendered := make([][]bool, len(dog.Frames))
+	// Per-recommender step-latency histogram and per-step span: both vanish
+	// (nil handle / empty span name never interned) when obs is off, so the
+	// disabled loop stays allocation-free.
+	var stepHist *obs.Histogram
+	var spanName string
+	if obs.On() {
+		stepHist = obs.Default().Histogram(obs.Label("sim.step", "rec", rec.Name()))
+		spanName = "step." + rec.Name()
+	}
 	var elapsed time.Duration
 	for t, frame := range dog.Frames {
+		sp := obs.Begin(spanName)
 		start := time.Now()
 		rendered[t] = stepper.Step(t, frame)
-		elapsed += time.Since(start)
+		d := time.Since(start)
+		sp.End()
+		elapsed += d
+		stepHist.Observe(d)
 	}
+	obsEpisodes.Inc()
 	res, err := metrics.Score(room, dog, rendered, beta)
 	if err != nil {
 		return EpisodeResult{}, nil, err
