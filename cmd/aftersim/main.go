@@ -30,24 +30,41 @@
 // snapshot next to its results — per-recommender step-latency histograms,
 // per-phase (dog/mia/pdr/lwp/decode) span rollups, worker-pool gauges, and
 // resilience intervention counters. -debug-addr :6060 additionally serves
-// the registry live at /metrics (Prometheus text), /debug/vars (expvar) and
-// /debug/pprof/* while the run is in flight; -trace out.json captures the
-// span stream as Chrome trace-event JSON (load it in chrome://tracing or
-// ui.perfetto.dev); -traincurve curve.jsonl appends one JSONL record per
-// training epoch (loss, grad norm, duration, tagged with alpha/seed).
+// the registry live at /metrics (Prometheus text), /debug/vars (expvar),
+// /debug/pprof/* and /quality while the run is in flight; -trace out.json
+// captures the span stream as Chrome trace-event JSON (load it in
+// chrome://tracing or ui.perfetto.dev); -traincurve curve.jsonl appends one
+// JSONL record per training epoch (loss, grad norm, duration, tagged with
+// alpha/seed).
+//
+// Quality telemetry (rides -obs, own switch -quality): every evaluation
+// experiment additionally writes QUALITY_<exp>.json — per-recommender
+// utility attribution (preference / social / occlusion-gate, bit-identical
+// to the scored totals), per-step regret against the MWIS oracle, render-set
+// churn, and any EWMA/CUSUM drift alerts. `aftersim -report` fuses all
+// OBS_/QUALITY_/BENCH_ artifacts in the working directory into a single
+// self-contained REPORT.html dashboard; -quality-baseline FILE gates the
+// run's oracle-regret rate against a checked-in QUALITY snapshot.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"after/internal/exp"
 	"after/internal/obs"
+	"after/internal/obs/quality"
 	"after/internal/parallel"
 )
 
@@ -65,7 +82,10 @@ func realMain() int {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 		obsOn      = flag.Bool("obs", true, "record observability metrics and write OBS_<exp>.json snapshots")
-		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+		qualityOn  = flag.Bool("quality", true, "record quality telemetry (attribution, oracle regret, drift) and write QUALITY_<exp>.json; requires -obs")
+		qualityRef = flag.String("quality-baseline", "", "fail if any recommender's oracle-regret rate regresses >5% vs this QUALITY_*.json baseline")
+		report     = flag.Bool("report", false, "fuse OBS_/QUALITY_/BENCH_ JSON artifacts in the working directory into REPORT.html and exit")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /quality on this address (e.g. :6060)")
 		tracePath  = flag.String("trace", "", "capture the span stream as Chrome trace-event JSON to this file")
 		curvePath  = flag.String("traincurve", "", "append per-epoch training-curve records (JSONL) to this file")
 	)
@@ -73,11 +93,26 @@ func realMain() int {
 	opts := exp.Options{Scale: *scale, Quick: *quick, Seed: *seed}
 	parallel.SetLimit(*workers)
 
+	// -report is a pure join over artifacts already on disk: no simulation,
+	// no registry, just read-decode-render-write and exit.
+	if *report {
+		if err := quality.WriteReport(".", "REPORT.html"); err != nil {
+			fmt.Fprintf(os.Stderr, "aftersim: -report: %v\n", err)
+			return 1
+		}
+		fmt.Println("wrote REPORT.html")
+		return 0
+	}
+
 	// -trace without metrics would record anonymous spans from instrumented
 	// call sites that only intern names when the registry is live; tracing
 	// therefore implies -obs.
 	recordObs := *obsOn || *tracePath != ""
 	obs.SetEnabled(recordObs)
+	// Quality telemetry rides the obs gate (its histograms/gauges/alert spans
+	// live in the obs registry), so -obs=false silences it too.
+	recordQuality := *qualityOn && recordObs
+	quality.SetEnabled(recordQuality)
 
 	// Profiling set-up is fail-fast: both output files are created before any
 	// work runs, so a typo'd path dies in milliseconds instead of after a
@@ -156,8 +191,37 @@ func realMain() int {
 			fmt.Fprintf(os.Stderr, "aftersim: -debug-addr: %v\n", err)
 			return 1
 		}
-		defer srv.Close()
-		fmt.Printf("debug endpoint live on http://%s (/metrics, /debug/vars, /debug/pprof)\n\n", srv.Addr())
+		// Graceful shutdown on both exit paths: the deferred call covers
+		// normal completion and errors; the signal goroutine covers ^C and
+		// SIGTERM, draining in-flight scrapes before the process dies so a
+		// live /metrics poll never sees a torn response.
+		var shutdownOnce sync.Once
+		shutdown := func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "aftersim: debug endpoint shutdown: %v\n", err)
+			}
+		}
+		defer shutdownOnce.Do(shutdown)
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		go func() {
+			sig, ok := <-sigc
+			if !ok {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "aftersim: %v: shutting down debug endpoint\n", sig)
+			shutdownOnce.Do(shutdown)
+			// Conventional fatal-signal exit code (128 + signum).
+			code := 130
+			if sig == syscall.SIGTERM {
+				code = 143
+			}
+			os.Exit(code)
+		}()
+		fmt.Printf("debug endpoint live on http://%s (/metrics, /debug/vars, /debug/pprof, /quality)\n\n", srv.Addr())
 	}
 
 	runners := map[string]func(exp.Options) (string, error){
@@ -210,6 +274,15 @@ func realMain() int {
 			// every package's cached metric handles valid.
 			obs.Default().Reset()
 		}
+		// bench/scale are performance measurements: the per-step oracle in
+		// the quality layer would distort exactly the latencies they gate on,
+		// so quality pauses for them and resumes afterwards.
+		perfExp := id == "bench" || id == "scale"
+		expQuality := recordQuality && !perfExp
+		if recordQuality {
+			quality.SetEnabled(expQuality)
+			quality.Default().Reset()
+		}
 		start := time.Now()
 		out, err := run(opts)
 		if err != nil {
@@ -225,9 +298,66 @@ func realMain() int {
 			}
 			fmt.Printf("wrote %s\n", obsPath)
 		}
+		if expQuality {
+			snap := quality.Default().Snapshot()
+			qPath := "QUALITY_" + id + ".json"
+			if err := quality.Default().WriteJSON(qPath); err != nil {
+				fmt.Fprintf(os.Stderr, "aftersim: %s: %v\n", id, err)
+				return 1
+			}
+			fmt.Printf("wrote %s (%d drift alerts)\n", qPath, snap.AlertsTotal)
+			if *qualityRef != "" {
+				if msg, err := qualityGate(*qualityRef, snap); err != nil {
+					fmt.Fprintf(os.Stderr, "aftersim: %s: %v\n", id, err)
+					return 1
+				} else if msg != "" {
+					fmt.Println(msg)
+				}
+			}
+		}
 		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// qualityGate compares the run's oracle-regret rates against a checked-in
+// QUALITY baseline snapshot: any recommender whose regret rate (fraction of
+// achievable utility left on the table, oracle-covered steps only) worsens by
+// more than 5% relative (plus a small absolute slack for near-zero baselines)
+// fails the run. Regret is deterministic for seeded runs, but like the bench
+// gate this downgrades to advisory on single-vCPU machines, where CI baseline
+// refreshes may lag the code: the message is printed, the exit stays zero.
+func qualityGate(baselinePath string, snap quality.Snapshot) (string, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return "", fmt.Errorf("quality gate: %w", err)
+	}
+	var base quality.Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return "", fmt.Errorf("quality gate: %s: %w", baselinePath, err)
+	}
+	var regs []string
+	for name, cur := range snap.Recommenders {
+		ref, ok := base.Recommenders[name]
+		if !ok || ref.Regret.Kind == "none" || cur.Regret.Kind == "none" {
+			continue
+		}
+		limit := ref.Regret.Rate*1.05 + 1e-3
+		if cur.Regret.Rate > limit {
+			regs = append(regs, fmt.Sprintf("%s: regret rate %.4f > baseline %.4f (+5%% limit %.4f)",
+				name, cur.Regret.Rate, ref.Regret.Rate, limit))
+		}
+	}
+	if len(regs) == 0 {
+		return fmt.Sprintf("quality gate: no oracle-regret regressions vs %s", baselinePath), nil
+	}
+	sort.Strings(regs)
+	msg := fmt.Sprintf("quality gate: oracle-regret regressions vs %s:\n  %s",
+		baselinePath, strings.Join(regs, "\n  "))
+	if runtime.NumCPU() == 1 {
+		return "WARNING (advisory on 1 vCPU): " + msg, nil
+	}
+	return "", fmt.Errorf("%s", msg)
 }
 
 // runBench measures the performance baseline and persists it: the first run

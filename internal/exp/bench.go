@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -332,11 +331,13 @@ func (r *BenchReport) Format() string {
 	return b.String()
 }
 
-// WriteJSON writes the report, indented, to path.
+// WriteJSON writes the report, indented, to path. The write is atomic (temp
+// file + rename) so a crash mid-write can never leave a torn
+// BENCH_baseline.json behind for the compare gate to choke on.
 func (r *BenchReport) WriteJSON(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return obs.WriteFileAtomic(path, append(data, '\n'))
 }

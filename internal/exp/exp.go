@@ -93,13 +93,18 @@ func episodesFrom(rooms []*dataset.Room, targetsPerRoom int) []core.Episode {
 	return eps
 }
 
-// validationUtility scores a recommender on the validation room.
+// validationUtility scores a recommender on the validation room. The
+// evaluation always runs under the name "cand": model-selection passes are
+// throwaway measurements, and the quality layer ignores that name by default
+// (Config.IgnoreRecs) so validation neither pays the per-step oracle nor
+// pollutes the monitored drift series with training-time improvement.
 func validationUtility(rec sim.Recommender, room *dataset.Room) (float64, error) {
-	res, err := sim.Evaluate([]sim.Recommender{rec}, room, sim.DefaultTargets(room, 3), Beta)
+	cand := sim.Func{RecName: "cand", Start: rec.StartEpisode}
+	res, err := sim.Evaluate([]sim.Recommender{cand}, room, sim.DefaultTargets(room, 3), Beta)
 	if err != nil {
 		return 0, err
 	}
-	return res[rec.Name()].Utility, nil
+	return res["cand"].Utility, nil
 }
 
 // POSHGNNRec adapts a trained POSHGNN to the sim harness.

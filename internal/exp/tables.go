@@ -7,6 +7,7 @@ import (
 	"after/internal/core"
 	"after/internal/dataset"
 	"after/internal/metrics"
+	"after/internal/obs/quality"
 	"after/internal/occlusion"
 	"after/internal/sim"
 	"after/internal/stats"
@@ -100,6 +101,11 @@ func significanceNote(recs []sim.Recommender, results map[string]metrics.Result,
 	if runnerUp == "" {
 		return "", nil
 	}
+	// The traces below replay episodes the table evaluation already recorded;
+	// feeding them to the quality collector again would double-count every
+	// series, so quality pauses for the duration of the significance test.
+	prevQ := quality.SetEnabled(false)
+	defer quality.SetEnabled(prevQ)
 	byName := map[string]sim.Recommender{}
 	for _, r := range recs {
 		byName[r.Name()] = r

@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"after/internal/dataset"
+	"after/internal/occlusion"
+)
+
+// randomTrace renders each non-target user independently with probability p.
+func randomTrace(rng *rand.Rand, n, steps, target int, p float64) [][]bool {
+	out := make([][]bool, steps)
+	for t := range out {
+		r := make([]bool, n)
+		for w := 0; w < n; w++ {
+			if w != target && rng.Float64() < p {
+				r[w] = true
+			}
+		}
+		out[t] = r
+	}
+	return out
+}
+
+// TestAttributionIdentity is the property test behind the quality layer's
+// core claim: across random rooms, targets, betas, and rendering densities,
+// Attribute's episode components reproduce Score's totals *bit-identically*
+// (==, not a tolerance), and the per-step decomposition sums to the episode
+// totals within float accumulation noise.
+func TestAttributionIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		room, err := dataset.Generate(dataset.Config{
+			Kind: dataset.SMM, PlatformUsers: 200, RoomUsers: 18, T: 30, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed * 977))
+		for _, beta := range []float64{0, 0.31, 0.5, 1} {
+			for _, density := range []float64{0.15, 0.5, 0.9} {
+				target := rng.Intn(room.N)
+				dog := occlusion.BuildDOG(target, room.Traj, room.AvatarRadius)
+				rendered := randomTrace(rng, room.N, len(dog.Frames), target, density)
+
+				res, err := Score(room, dog, rendered, beta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				att, err := Attribute(room, dog, rendered, beta)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Episode identity is exact: same accumulation order, same
+				// final weighted expressions as Score.
+				if att.Total != res.Utility {
+					t.Fatalf("seed=%d β=%v d=%v: att.Total %v != Score utility %v",
+						seed, beta, density, att.Total, res.Utility)
+				}
+				if att.Pref != (1-beta)*res.Preference {
+					t.Fatalf("seed=%d β=%v: att.Pref %v != weighted preference %v",
+						seed, beta, att.Pref, (1-beta)*res.Preference)
+				}
+				if att.Social != beta*res.Social {
+					t.Fatalf("seed=%d β=%v: att.Social %v != weighted social %v",
+						seed, beta, att.Social, beta*res.Social)
+				}
+				if att.Total != att.Pref+att.Social {
+					t.Fatalf("components don't sum: %v + %v != %v", att.Pref, att.Social, att.Total)
+				}
+
+				// Per-step components sum to the episode totals (different
+				// accumulation order, so a relative tolerance applies).
+				var sPref, sSocial, sGate, sTotal float64
+				gated := 0
+				for _, s := range att.Steps {
+					if s.Total != s.Pref+s.Social {
+						t.Fatalf("step total %v != %v + %v", s.Total, s.Pref, s.Social)
+					}
+					if s.Gate < 0 {
+						t.Fatalf("negative gate %v", s.Gate)
+					}
+					sPref += s.Pref
+					sSocial += s.Social
+					sGate += s.Gate
+					sTotal += s.Total
+					gated += s.GatedUsers
+				}
+				tol := 1e-12 * (1 + math.Abs(att.Total))
+				for _, pair := range [][2]float64{
+					{sPref, att.Pref}, {sSocial, att.Social}, {sGate, att.Gate}, {sTotal, att.Total},
+				} {
+					if math.Abs(pair[0]-pair[1]) > tol {
+						t.Fatalf("per-step sum %v vs episode %v exceeds 1e-12 relative", pair[0], pair[1])
+					}
+				}
+				if gated != att.GatedUsers {
+					t.Fatalf("gated users: steps sum %d, episode %d", gated, att.GatedUsers)
+				}
+			}
+		}
+	}
+}
+
+// TestAttributionGateStatic checks the gate against the hand-built occlusion
+// scene: users 1 and 2 mutually overlap (both unclear when both rendered), so
+// rendering everyone forfeits both their preference contributions to the
+// gate, every step.
+func TestAttributionGateStatic(t *testing.T) {
+	steps := 3
+	room, dog := staticRoom(steps)
+	beta := 0.5
+	att, err := Attribute(room, dog, renderAll(4, steps), beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Score(room, dog, renderAll(4, steps), beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Total != res.Utility {
+		t.Fatalf("att.Total %v != utility %v", att.Total, res.Utility)
+	}
+	// Users 1 (p=0.8) and 2 (p=0.6) are gated every step; neither is ever
+	// visible, so their social terms never activate (visibility at t-1 is
+	// required).
+	frames := float64(len(dog.Frames))
+	wantGate := (1 - beta) * (0.8 + 0.6) * frames
+	if math.Abs(att.Gate-wantGate) > 1e-12 {
+		t.Fatalf("gate %v, want %v", att.Gate, wantGate)
+	}
+	if att.GatedUsers != 2*len(dog.Frames) {
+		t.Fatalf("gated users %d, want %d", att.GatedUsers, 2*len(dog.Frames))
+	}
+	// Ungated potential = realized + forfeited.
+	potential := att.Pref + att.Social + att.Gate
+	if potential < att.Total {
+		t.Fatalf("potential %v below realized %v", potential, att.Total)
+	}
+}
+
+// TestChurnSeriesGolden pins the per-step Jaccard turnover on hand-built
+// traces.
+func TestChurnSeriesGolden(t *testing.T) {
+	tr := func(rows ...[]bool) [][]bool { return rows }
+	b := func(bits ...int) []bool {
+		out := make([]bool, 4)
+		for _, i := range bits {
+			out[i] = true
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		in   [][]bool
+		want []float64
+	}{
+		{"identical", tr(b(1, 2), b(1, 2), b(1, 2)), []float64{0, 0, 0}},
+		{"overlap", tr(b(1, 2), b(2, 3)), []float64{0, 2.0 / 3.0}},
+		{"fullTurnover", tr(b(1), b(2)), []float64{0, 1}},
+		{"emptyToSet", tr(b(), b(1, 2)), []float64{0, 1}},
+		{"bothEmpty", tr(b(), b()), []float64{0, 0}},
+		{"single", tr(b(1, 2)), []float64{0}},
+		{"none", tr(), []float64{}},
+	}
+	for _, tc := range cases {
+		got := ChurnSeries(tc.in)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: %d steps, want %d", tc.name, len(got), len(tc.want))
+		}
+		for i := range got {
+			if math.Abs(got[i]-tc.want[i]) > 1e-15 {
+				t.Fatalf("%s: churn[%d]=%v, want %v", tc.name, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestChurnSeriesMatchesScore ties the series to the scalar: the mean of
+// ChurnSeries over non-empty-union steps equals Result.Churn.
+func TestChurnSeriesMatchesScore(t *testing.T) {
+	room, err := dataset.Generate(dataset.Config{
+		Kind: dataset.SMM, PlatformUsers: 200, RoomUsers: 15, T: 25, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	rendered := randomTrace(rng, room.N, len(dog.Frames), 0, 0.4)
+	res, err := Score(room, dog, rendered, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := ChurnSeries(rendered)
+	var sum float64
+	steps := 0
+	for t2 := 1; t2 < len(rendered); t2++ {
+		union := 0
+		for w := range rendered[t2] {
+			if rendered[t2][w] || rendered[t2-1][w] {
+				union++
+			}
+		}
+		if union > 0 {
+			sum += series[t2]
+			steps++
+		}
+	}
+	if steps == 0 {
+		t.Fatal("degenerate trace: no non-empty unions")
+	}
+	mean := sum / float64(steps)
+	if math.Abs(mean-res.Churn) > 1e-12 {
+		t.Fatalf("series mean %v != Score churn %v", mean, res.Churn)
+	}
+}

@@ -204,7 +204,13 @@ func Score(room *dataset.Room, dog *occlusion.DOG, rendered [][]bool, beta float
 	if churnSteps > 0 {
 		res.Churn = churnSum / float64(churnSteps)
 	}
-	res.Utility = (1-beta)*res.Preference + beta*res.Social
+	// Explicit intermediates (not one fused expression) so platforms whose
+	// compilers contract a*b+c into FMA round exactly like Attribute's
+	// component path — the attribution identity Pref+Social == Utility is
+	// bitwise on every architecture, and on amd64 the value is unchanged.
+	prefComponent := (1 - beta) * res.Preference
+	socialComponent := beta * res.Social
+	res.Utility = prefComponent + socialComponent
 	if renderedTotal > 0 {
 		res.OcclusionRate = float64(occludedTotal) / float64(renderedTotal)
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -14,15 +15,40 @@ import (
 // DebugServer is the live observability endpoint started by
 // `aftersim -debug-addr`: /metrics (Prometheus text exposition),
 // /debug/vars (expvar JSON, including the obs registry snapshot under
-// "after_obs"), and the full /debug/pprof suite.
+// "after_obs"), the full /debug/pprof suite, and any extra handlers
+// registered via HandleDebug (the quality layer mounts /quality there).
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
+	// done closes when the Serve goroutine has returned, making shutdown
+	// deterministic: Close/Shutdown do not return until the goroutine is
+	// gone, so tests can assert nothing leaks.
+	done chan struct{}
 }
 
 // publishOnce guards the expvar registration: expvar panics on duplicate
 // names, and tests may start several servers in one process.
 var publishOnce sync.Once
+
+// extraHandlers holds the additional debug routes packages register via
+// HandleDebug before a server starts. Guarded by extraMu; ServeDebug copies
+// the set when building its mux, so late registrations apply to servers
+// started afterwards (in practice everything registers in init, long before
+// main binds the port).
+var (
+	extraMu       sync.Mutex
+	extraHandlers = map[string]http.Handler{}
+)
+
+// HandleDebug registers an additional route served by every subsequently
+// started debug server. Registering the same pattern twice replaces the
+// handler (last writer wins) — child packages like obs/quality register in
+// init and tests may re-register fakes.
+func HandleDebug(pattern string, h http.Handler) {
+	extraMu.Lock()
+	extraHandlers[pattern] = h
+	extraMu.Unlock()
+}
 
 // ServeDebug binds addr (e.g. ":6060") and serves the debug endpoints for
 // reg in a background goroutine. Binding errors are returned synchronously
@@ -63,9 +89,15 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extraMu.Lock()
+	for pattern, h := range extraHandlers {
+		mux.Handle(pattern, h)
+	}
+	extraMu.Unlock()
 
-	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
 	go func() {
+		defer close(ds.done)
 		// ErrServerClosed (and the listener-closed error) are the normal
 		// shutdown path; anything else would have surfaced at bind time.
 		_ = ds.srv.Serve(ln)
@@ -76,8 +108,30 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 // Addr returns the bound address (useful with ":0" in tests).
 func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
-func (s *DebugServer) Close() error { return s.srv.Close() }
+// Close stops the server immediately (in-flight requests are dropped) and
+// waits for the serve goroutine to exit, so a Close-then-return leaves no
+// goroutine behind. Idempotent.
+func (s *DebugServer) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Shutdown stops the server gracefully: the listener closes at once (no new
+// connections), in-flight requests get until ctx's deadline to finish, and
+// the serve goroutine is collected before Shutdown returns. cmd/aftersim
+// calls this on SIGINT/SIGTERM and on normal exit so a live scrape never
+// sees a torn response.
+func (s *DebugServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline expired with requests still in flight: hard-close so the
+		// goroutine is still collected deterministically.
+		_ = s.srv.Close()
+	}
+	<-s.done
+	return err
+}
 
 // curveMu guards the optional JSONL training-curve sink.
 var (

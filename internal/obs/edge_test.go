@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestQuantileEdgeCases pins the documented behaviour of the three degenerate
+// histogram shapes: empty, single-sample, and non-positive-only.
+func TestQuantileEdgeCases(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+
+	qs := []float64{0, 0.5, 0.95, 0.99, 1}
+
+	t.Run("empty", func(t *testing.T) {
+		h := NewRegistry().Histogram("empty")
+		for _, q := range qs {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("oneSample", func(t *testing.T) {
+		h := NewRegistry().Histogram("one")
+		h.ObserveNs(1234)
+		for _, q := range qs {
+			if got := h.Quantile(q); got != 1234 {
+				t.Errorf("1-sample Quantile(%v) = %d, want exact 1234", q, got)
+			}
+		}
+	})
+
+	t.Run("nonPositiveOnly", func(t *testing.T) {
+		h := NewRegistry().Histogram("nonpos")
+		h.ObserveNs(0)
+		h.ObserveNs(-5)
+		for _, q := range qs {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("non-positive Quantile(%v) = %d, want 0", q, got)
+			}
+		}
+		if h.Max() != 0 {
+			t.Errorf("non-positive max %d, want 0", h.Max())
+		}
+	})
+
+	t.Run("nilReceiver", func(t *testing.T) {
+		var h *Histogram
+		if got := h.Quantile(0.5); got != 0 {
+			t.Errorf("nil Quantile = %d", got)
+		}
+	})
+}
+
+// TestHistogramSnapshotMerge checks the merge algebra: exact fields stay
+// exact, approximate fields stay bounded.
+func TestHistogramSnapshotMerge(t *testing.T) {
+	a := HistogramSnapshot{Count: 10, SumNs: 1000, MeanNs: 100, P50Ns: 90, P95Ns: 180, P99Ns: 190, MaxNs: 200}
+	b := HistogramSnapshot{Count: 30, SumNs: 6000, MeanNs: 200, P50Ns: 190, P95Ns: 380, P99Ns: 390, MaxNs: 400}
+
+	t.Run("emptyPassThrough", func(t *testing.T) {
+		var empty HistogramSnapshot
+		if got := empty.Merge(a); got != a {
+			t.Errorf("empty.Merge(a) = %+v, want a", got)
+		}
+		if got := a.Merge(empty); got != a {
+			t.Errorf("a.Merge(empty) = %+v, want a", got)
+		}
+	})
+
+	t.Run("exactFields", func(t *testing.T) {
+		m := a.Merge(b)
+		if m.Count != 40 || m.SumNs != 7000 {
+			t.Errorf("count/sum: %+v", m)
+		}
+		if m.MaxNs != 400 {
+			t.Errorf("merged max %d, want exact 400", m.MaxNs)
+		}
+		if want := float64(7000) / 40; m.MeanNs != want {
+			t.Errorf("merged mean %v, want %v", m.MeanNs, want)
+		}
+	})
+
+	t.Run("quantilesWeightedAndBounded", func(t *testing.T) {
+		m := a.Merge(b)
+		// Count-weighted: (10*90 + 30*190) / 40 = 165.
+		if m.P50Ns != 165 {
+			t.Errorf("merged p50 %d, want 165", m.P50Ns)
+		}
+		for _, q := range []int64{m.P50Ns, m.P95Ns, m.P99Ns} {
+			if q > m.MaxNs {
+				t.Errorf("merged quantile %d exceeds exact max %d", q, m.MaxNs)
+			}
+		}
+	})
+
+	t.Run("clampToMax", func(t *testing.T) {
+		// A side whose stale quantile exceeds the other's max must clamp.
+		hi := HistogramSnapshot{Count: 1, SumNs: 50, P50Ns: 50, P95Ns: 50, P99Ns: 50, MaxNs: 50}
+		lo := HistogramSnapshot{Count: 99, SumNs: 99, P50Ns: 1, P95Ns: 1, P99Ns: 1, MaxNs: 1}
+		m := hi.Merge(lo)
+		if m.MaxNs != 50 {
+			t.Fatalf("max %d", m.MaxNs)
+		}
+		if m.P99Ns > m.MaxNs {
+			t.Errorf("p99 %d exceeds max", m.P99Ns)
+		}
+	})
+}
+
+// TestWriteFileAtomic checks content, permissions, overwrite semantics, and
+// that no temp file survives either the success or the failure path.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	if err := WriteFileAtomic(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "one" {
+		t.Fatalf("content %q", data)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Errorf("perm %v, want 0644", info.Mode().Perm())
+	}
+	// Overwrite in place.
+	if err := WriteFileAtomic(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "two" {
+		t.Fatalf("after overwrite: %q", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+	// Missing directory fails cleanly.
+	if err := WriteFileAtomic(filepath.Join(dir, "no", "such", "dir.json"), []byte("x")); err == nil {
+		t.Fatal("expected error for missing parent directory")
+	}
+}
+
+// TestHandleDebugRoutes: extra handlers registered via HandleDebug mount on
+// subsequently started servers, and re-registration replaces (last writer
+// wins).
+func TestHandleDebugRoutes(t *testing.T) {
+	HandleDebug("/test-extra", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "first")
+	}))
+	HandleDebug("/test-extra", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "second")
+	}))
+	srv, err := ServeDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/test-extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "second" {
+		t.Fatalf("body %q, want the re-registered handler", body)
+	}
+}
+
+// TestDebugServerGracefulShutdown: Shutdown lets an in-flight request finish,
+// returns only after the serve goroutine is gone, and leaves the port closed.
+func TestDebugServerGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	HandleDebug("/test-slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "done")
+	}))
+	srv, err := ServeDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/test-slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- result{body: string(body), err: err}
+	}()
+	<-entered // the request is in flight
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Graceful: shutdown must wait for the handler, not kill it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "done" {
+		t.Fatalf("in-flight request: body=%q err=%v", r.body, r.err)
+	}
+	// The port is really closed once Shutdown returns.
+	if conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after Shutdown")
+	}
+	// Close after Shutdown is a safe no-op.
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+}
+
+// TestDebugServerCloseDeterministic: Close returns only after the serve
+// goroutine has exited (the done channel), so tests can assert no leaks by
+// construction.
+func TestDebugServerCloseDeterministic(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-srv.done:
+	default:
+		t.Fatal("Close returned before the serve goroutine exited")
+	}
+	if conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after Close")
+	}
+	// Idempotent.
+	_ = srv.Close()
+}

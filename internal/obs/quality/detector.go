@@ -1,0 +1,237 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+)
+
+// DetectorConfig parameterizes one streaming drift detector: an EWMA control
+// chart and a two-sided CUSUM sharing a warmup-estimated baseline. All
+// thresholds are in units of the warmup standard deviation, so one config
+// works across series with wildly different scales (utility sums, 0..1
+// churn, regret).
+//
+// The defaults are tuned on this repo's own harness: a clean seeded run
+// (table2/chaos clean pass) produces zero alerts, while the chaos sweep at a
+// 10% injected fault rate reliably trips the CUSUM on the degraded
+// utility/regret series. Stationary white noise never alarms at these
+// settings (see TestDetectorStationaryNoFalseAlarms). The collector scopes
+// every detector to one (recommender, target) pair, so a series is the
+// concatenation of one scene's episodes, and it overrides Warmup to the
+// length of the first episode it feeds: per-step utility ramps up within an
+// episode (social presence needs prior visibility), so the baseline must
+// cover one whole episode — ramp and all — before the monitors arm. The
+// static default below only applies to directly-constructed detectors.
+type DetectorConfig struct {
+	// Warmup is the number of leading samples used to estimate the baseline
+	// mean and standard deviation (Welford). No alerts fire during warmup.
+	Warmup int
+	// Lambda is the EWMA smoothing factor in (0, 1].
+	Lambda float64
+	// EWMAL is the EWMA control-limit multiple: alert when the smoothed
+	// z-score leaves ±EWMAL·sqrt(λ/(2-λ)) (the chart's asymptotic sigma).
+	EWMAL float64
+	// CUSUMK is the CUSUM slack per step in sigma units (drifts smaller than
+	// K are absorbed).
+	CUSUMK float64
+	// CUSUMH is the CUSUM decision threshold in sigma units.
+	CUSUMH float64
+	// MinSigma floors the estimated standard deviation at MinSigma times the
+	// absolute baseline mean (plus a tiny absolute floor), so a freakishly
+	// quiet warmup window cannot turn routine scene variation into alarms.
+	MinSigma float64
+}
+
+// DefaultDetectorConfig returns the tuned default configuration.
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{
+		Warmup:   16,
+		Lambda:   0.2,
+		EWMAL:    9,
+		CUSUMK:   1.0,
+		CUSUMH:   12,
+		MinSigma: 0.15,
+	}
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	d := DefaultDetectorConfig()
+	if c.Warmup <= 0 {
+		c.Warmup = d.Warmup
+	}
+	if c.Lambda <= 0 || c.Lambda > 1 {
+		c.Lambda = d.Lambda
+	}
+	if c.EWMAL <= 0 {
+		c.EWMAL = d.EWMAL
+	}
+	if c.CUSUMK <= 0 {
+		c.CUSUMK = d.CUSUMK
+	}
+	if c.CUSUMH <= 0 {
+		c.CUSUMH = d.CUSUMH
+	}
+	if c.MinSigma <= 0 {
+		c.MinSigma = d.MinSigma
+	}
+	return c
+}
+
+// Alert is one structured threshold crossing emitted by a detector. Alerts
+// land in three places: the quality snapshot (QUALITY_<exp>.json and the
+// /quality endpoint), the obs span trace (as an instant span named
+// alert.<series>), and a per-series obs counter.
+type Alert struct {
+	// Series names the monitored stream, e.g. "utility/POSHGNN".
+	Series string `json:"series"`
+	// Step is the 0-based sample index within the series at which the
+	// detector fired.
+	Step int `json:"step"`
+	// Detector is "ewma" or "cusum".
+	Detector string `json:"detector"`
+	// Direction is "up" or "down" (the drift's sign relative to baseline).
+	Direction string `json:"direction"`
+	// Value is the raw sample that completed the crossing.
+	Value float64 `json:"value"`
+	// Stat is the detector statistic at the crossing (EWMA z or CUSUM sum,
+	// both in sigma units).
+	Stat float64 `json:"stat"`
+	// Threshold is the limit Stat crossed, in the same units.
+	Threshold float64 `json:"threshold"`
+	// Baseline carries the warmup mean the drift is measured against.
+	Baseline float64 `json:"baseline"`
+}
+
+// String renders the alert the way the run log and EXPERIMENTS.md quote it.
+func (a Alert) String() string {
+	return fmt.Sprintf("%s step=%d %s-%s stat=%.2f thr=%.2f value=%.4g baseline=%.4g",
+		a.Series, a.Step, a.Detector, a.Direction, a.Stat, a.Threshold, a.Value, a.Baseline)
+}
+
+// DetectorState is the exported view of a detector's internals, serialized
+// into quality snapshots so an alert can be interpreted without re-running.
+type DetectorState struct {
+	Series   string  `json:"series"`
+	Samples  int     `json:"samples"`
+	Warm     bool    `json:"warm"`
+	Mean     float64 `json:"baseline_mean"`
+	Sigma    float64 `json:"baseline_sigma"`
+	EWMA     float64 `json:"ewma_z"`
+	CUSUMPos float64 `json:"cusum_pos"`
+	CUSUMNeg float64 `json:"cusum_neg"`
+	Alerts   int     `json:"alerts"`
+}
+
+// Detector is a single-series streaming drift monitor: warmup estimates a
+// baseline (mean, sigma), then every sample updates an EWMA control chart
+// and a two-sided CUSUM against that frozen baseline. Detector is not
+// safe for concurrent use; the Collector serializes feeds per series.
+type Detector struct {
+	series string
+	cfg    DetectorConfig
+
+	n    int
+	mean float64
+	m2   float64 // Welford sum of squared deviations (warmup only)
+
+	warm  bool
+	mu0   float64
+	sigma float64
+
+	ewma   float64
+	cusumP float64
+	cusumN float64
+
+	alerts int
+}
+
+// NewDetector builds a detector for the named series; zero-valued config
+// fields fall back to the tuned defaults.
+func NewDetector(series string, cfg DetectorConfig) *Detector {
+	return &Detector{series: series, cfg: cfg.withDefaults()}
+}
+
+// State exports the detector's current internals.
+func (d *Detector) State() DetectorState {
+	return DetectorState{
+		Series:   d.series,
+		Samples:  d.n,
+		Warm:     d.warm,
+		Mean:     d.mu0,
+		Sigma:    d.sigma,
+		EWMA:     d.ewma,
+		CUSUMPos: d.cusumP,
+		CUSUMNeg: d.cusumN,
+		Alerts:   d.alerts,
+	}
+}
+
+// Feed consumes one sample and returns any alerts it triggered (nil when
+// quiet). After a crossing the offending statistic resets, so a sustained
+// shift produces a bounded alert stream rather than one alert per step.
+func (d *Detector) Feed(x float64) []Alert {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil // faulty inputs are the resilience layer's problem
+	}
+	step := d.n
+	d.n++
+	if !d.warm {
+		// Welford update.
+		delta := x - d.mean
+		d.mean += delta / float64(d.n)
+		d.m2 += delta * (x - d.mean)
+		if d.n >= d.cfg.Warmup {
+			d.mu0 = d.mean
+			variance := d.m2 / float64(d.n-1)
+			if variance < 0 {
+				variance = 0
+			}
+			d.sigma = math.Sqrt(variance)
+			floor := d.cfg.MinSigma*math.Abs(d.mu0) + 1e-9
+			if d.sigma < floor {
+				d.sigma = floor
+			}
+			d.warm = true
+		}
+		return nil
+	}
+
+	z := (x - d.mu0) / d.sigma
+	var out []Alert
+
+	// EWMA control chart on the standardized series. The asymptotic chart
+	// sigma of an EWMA of unit-variance noise is sqrt(λ/(2-λ)).
+	d.ewma = d.cfg.Lambda*z + (1-d.cfg.Lambda)*d.ewma
+	limit := d.cfg.EWMAL * math.Sqrt(d.cfg.Lambda/(2-d.cfg.Lambda))
+	if d.ewma > limit || d.ewma < -limit {
+		dir := "up"
+		if d.ewma < 0 {
+			dir = "down"
+		}
+		out = append(out, Alert{
+			Series: d.series, Step: step, Detector: "ewma", Direction: dir,
+			Value: x, Stat: d.ewma, Threshold: limit, Baseline: d.mu0,
+		})
+		d.ewma = 0
+	}
+
+	// Two-sided CUSUM.
+	d.cusumP = math.Max(0, d.cusumP+z-d.cfg.CUSUMK)
+	d.cusumN = math.Max(0, d.cusumN-z-d.cfg.CUSUMK)
+	if d.cusumP > d.cfg.CUSUMH {
+		out = append(out, Alert{
+			Series: d.series, Step: step, Detector: "cusum", Direction: "up",
+			Value: x, Stat: d.cusumP, Threshold: d.cfg.CUSUMH, Baseline: d.mu0,
+		})
+		d.cusumP = 0
+	}
+	if d.cusumN > d.cfg.CUSUMH {
+		out = append(out, Alert{
+			Series: d.series, Step: step, Detector: "cusum", Direction: "down",
+			Value: x, Stat: d.cusumN, Threshold: d.cfg.CUSUMH, Baseline: d.mu0,
+		})
+		d.cusumN = 0
+	}
+	d.alerts += len(out)
+	return out
+}

@@ -1,0 +1,152 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDetectorStationaryNoFalseAlarms is the false-positive contract the
+// tuned defaults carry: pure stationary noise, at any scale, never alarms.
+func TestDetectorStationaryNoFalseAlarms(t *testing.T) {
+	for _, scale := range []float64{1e-3, 1, 50, 1e6} {
+		for seed := int64(0); seed < 20; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			d := NewDetector("stationary", DetectorConfig{})
+			for i := 0; i < 5000; i++ {
+				x := scale * (10 + rng.NormFloat64())
+				if alerts := d.Feed(x); len(alerts) != 0 {
+					t.Fatalf("scale=%v seed=%d: false alarm at step %d: %v",
+						scale, seed, i, alerts[0])
+				}
+			}
+		}
+	}
+}
+
+// TestDetectorStepShift checks that an abrupt mean shift fires, the alert
+// carries the right direction, and the post-reset statistic keeps firing
+// (bounded stream, not one-per-step) while the shift persists.
+func TestDetectorStepShift(t *testing.T) {
+	for _, dir := range []float64{+1, -1} {
+		rng := rand.New(rand.NewSource(42))
+		d := NewDetector("step", DetectorConfig{})
+		var alerts []Alert
+		for i := 0; i < 400; i++ {
+			x := 10 + rng.NormFloat64()
+			if i >= 200 {
+				x += dir * 5 // a 5-sigma shift
+			}
+			got := d.Feed(x)
+			for _, a := range got {
+				if a.Step < 200 {
+					t.Fatalf("alert before the shift: %v", a)
+				}
+			}
+			alerts = append(alerts, got...)
+		}
+		if len(alerts) == 0 {
+			t.Fatalf("dir=%v: no alert on a 5-sigma step shift", dir)
+		}
+		want := "up"
+		if dir < 0 {
+			want = "down"
+		}
+		for _, a := range alerts {
+			if a.Direction != want {
+				t.Fatalf("dir=%v: alert direction %q, want %q (%v)", dir, a.Direction, want, a)
+			}
+		}
+		// Detection latency: the first alert lands within a modest window of
+		// the change point for a shift this large.
+		if alerts[0].Step > 260 {
+			t.Fatalf("dir=%v: first alert at step %d, too slow for a 5-sigma shift", dir, alerts[0].Step)
+		}
+	}
+}
+
+// TestDetectorSlowRamp checks the CUSUM's raison d'être: a drift far below
+// the EWMA's radar (0.02 sigma per step) still accumulates to an alarm.
+func TestDetectorSlowRamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDetector("ramp", DetectorConfig{})
+	fired := false
+	for i := 0; i < 3000; i++ {
+		x := 10 + rng.NormFloat64()
+		if i >= 500 {
+			x += 0.02 * float64(i-500)
+		}
+		for _, a := range d.Feed(x) {
+			if a.Step < 500 {
+				t.Fatalf("alert before the ramp: %v", a)
+			}
+			if a.Direction != "up" {
+				t.Fatalf("ramp alert direction %q", a.Direction)
+			}
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("no alert on a sustained upward ramp")
+	}
+}
+
+// TestDetectorConstantSeries: a perfectly constant series (zero warmup
+// variance) must never alarm — MinSigma floors sigma so z stays finite.
+func TestDetectorConstantSeries(t *testing.T) {
+	for _, v := range []float64{0, 1, -3.5, 1e9} {
+		d := NewDetector("const", DetectorConfig{})
+		for i := 0; i < 1000; i++ {
+			if alerts := d.Feed(v); len(alerts) != 0 {
+				t.Fatalf("constant %v alarmed at %d: %v", v, i, alerts[0])
+			}
+		}
+		st := d.State()
+		if !st.Warm {
+			t.Fatal("never warmed up")
+		}
+		if math.IsNaN(st.EWMA) || math.IsInf(st.EWMA, 0) {
+			t.Fatalf("non-finite EWMA %v on constant input", st.EWMA)
+		}
+	}
+}
+
+// TestDetectorIgnoresNonFinite: NaN/Inf samples are dropped without
+// corrupting warmup statistics or firing.
+func TestDetectorIgnoresNonFinite(t *testing.T) {
+	d := NewDetector("nan", DetectorConfig{Warmup: 8})
+	for i := 0; i < 200; i++ {
+		if i%3 == 0 {
+			if alerts := d.Feed(math.NaN()); len(alerts) != 0 {
+				t.Fatal("NaN fired an alert")
+			}
+			if alerts := d.Feed(math.Inf(1)); len(alerts) != 0 {
+				t.Fatal("Inf fired an alert")
+			}
+		}
+		if alerts := d.Feed(5); len(alerts) != 0 {
+			t.Fatalf("clean constant fired at %d", i)
+		}
+	}
+	if st := d.State(); math.IsNaN(st.Mean) || math.IsNaN(st.Sigma) {
+		t.Fatalf("NaN leaked into the baseline: %+v", st)
+	}
+}
+
+// TestDetectorStateExport spot-checks the exported internals after warmup.
+func TestDetectorStateExport(t *testing.T) {
+	d := NewDetector("state", DetectorConfig{Warmup: 4})
+	for _, x := range []float64{2, 4, 6, 8} {
+		d.Feed(x)
+	}
+	st := d.State()
+	if !st.Warm || st.Samples != 4 {
+		t.Fatalf("state %+v", st)
+	}
+	if math.Abs(st.Mean-5) > 1e-12 {
+		t.Fatalf("baseline mean %v, want 5", st.Mean)
+	}
+	if st.Series != "state" {
+		t.Fatalf("series %q", st.Series)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package quality
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing budgets only hold uninstrumented.
+const raceEnabled = true

@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/bits"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -187,6 +188,16 @@ func (h *Histogram) Count() int64 {
 // bucket counts and interpolating linearly inside the crossing bucket. The
 // estimate is clamped to the exact observed maximum, so Quantile(1) is
 // precise and high quantiles never overshoot.
+//
+// Edge cases are defined, not accidental:
+//   - an empty histogram returns 0 for every quantile;
+//   - a 1-sample histogram returns the exact (positive) observation for
+//     every quantile — the crossing bucket's interpolation lands on its
+//     upper edge, which the exact-max clamp pins to the observed value;
+//   - histograms containing only non-positive observations (all of which
+//     land in bucket 0, and none of which advance the exact max) return 0:
+//     observations are nanoseconds by convention, so 0 is the tightest
+//     defined answer when no positive sample exists.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0
@@ -218,7 +229,13 @@ func (h *Histogram) Quantile(q float64) int64 {
 				hi = maxv // the top occupied bucket can't exceed the max
 			}
 			if hi < lo {
-				return lo
+				// The exact max sits below the crossing bucket's lower
+				// bound, which only happens when the occupied bucket is
+				// bucket 0 holding non-positive observations (the max never
+				// drops below its zero initial value). Return the max — the
+				// defined non-positive-sample answer — rather than the
+				// bucket's ≥1 lower edge.
+				return maxv
 			}
 			frac := float64(rank-cum) / float64(n)
 			est := float64(lo) + frac*float64(hi-lo)
@@ -400,13 +417,90 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// WriteJSON writes an indented snapshot of the registry to path.
+// Merge folds o into a copy of s and returns it: counts and sums add, the
+// exact max is preserved exactly (max of maxes), and the mean is recomputed
+// from the merged sums. Quantiles cannot be recovered from two rollups, so
+// the merged p50/p95/p99 are count-weighted averages — a documented
+// approximation that is exact when either side is empty and never exceeds
+// the merged exact max. The report joiner uses Merge to fuse per-experiment
+// OBS snapshots into cross-run trend rows.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	out := HistogramSnapshot{
+		Count: s.Count + o.Count,
+		SumNs: s.SumNs + o.SumNs,
+		MaxNs: s.MaxNs,
+	}
+	if o.MaxNs > out.MaxNs {
+		out.MaxNs = o.MaxNs
+	}
+	wa := float64(s.Count) / float64(out.Count)
+	wb := float64(o.Count) / float64(out.Count)
+	blend := func(a, b int64) int64 {
+		v := int64(wa*float64(a) + wb*float64(b))
+		if v > out.MaxNs {
+			v = out.MaxNs
+		}
+		return v
+	}
+	out.P50Ns = blend(s.P50Ns, o.P50Ns)
+	out.P95Ns = blend(s.P95Ns, o.P95Ns)
+	out.P99Ns = blend(s.P99Ns, o.P99Ns)
+	out.MeanNs = float64(out.SumNs) / float64(out.Count)
+	return out
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same directory
+// plus a rename, so readers (and the report joiner in particular) can never
+// observe a truncated file: a crash mid-write leaves the previous content —
+// or nothing — in place, never half a JSON document.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	// 0644 to match the plain os.WriteFile artifacts these calls replace
+	// (CreateTemp defaults to 0600).
+	if err := tmp.Chmod(0o644); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// WriteJSON writes an indented snapshot of the registry to path atomically
+// (temp file + rename): an OBS_<exp>.json from a crashed run is either the
+// complete previous snapshot or absent, never truncated JSON that would
+// break the -report joiner.
 func (r *Registry) WriteJSON(path string) error {
 	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteFileAtomic(path, append(data, '\n'))
 }
 
 // WritePrometheus renders the registry in the Prometheus text exposition

@@ -7,6 +7,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/geom"
 	"after/internal/metrics"
+	"after/internal/obs/quality"
 	"after/internal/occlusion"
 	"after/internal/sim"
 )
@@ -18,8 +19,8 @@ type runner struct {
 	cfg    Config
 	src    Source
 
-	san  *sanitizer
-	tly  tally
+	san *sanitizer
+	tly tally
 
 	chain    []sim.Recommender
 	chainIdx int
@@ -108,6 +109,13 @@ func RunEpisodeTrace(rec sim.Recommender, room *dataset.Room, truth *occlusion.D
 	}
 	res.StepTime = elapsed / time.Duration(steps)
 	res.Robustness = r.tly.robustness()
+	// Quality telemetry over the realized (possibly degraded) trace, scored
+	// against the ground-truth DOG — so fault-induced utility loss shows up
+	// as regret and drift, which is exactly what the detectors monitor during
+	// the chaos sweep. Same bit-identity contract as the sim hook.
+	if quality.On() {
+		quality.Default().RecordEpisode(rec.Name(), room, truth, rendered, beta)
+	}
 	return sim.EpisodeResult{Recommender: rec.Name(), Target: truth.Target, Result: res}, rendered, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/metrics"
 	"after/internal/obs"
+	"after/internal/obs/quality"
 	"after/internal/occlusion"
 	"after/internal/parallel"
 )
@@ -105,6 +106,13 @@ func RunEpisodeTrace(rec Recommender, room *dataset.Room, dog *occlusion.DOG, be
 		return EpisodeResult{}, nil, err
 	}
 	res.StepTime = elapsed / time.Duration(len(dog.Frames))
+	// Quality telemetry observes the finished trace (attribution, oracle
+	// regret, churn, drift detectors). Gated on quality.On() — two atomic
+	// loads when disabled — and pure observation when enabled: it touches no
+	// RNG and mutates nothing, so scores are bit-identical either way.
+	if quality.On() {
+		quality.Default().RecordEpisode(rec.Name(), room, dog, rendered, beta)
+	}
 	return EpisodeResult{Recommender: rec.Name(), Target: dog.Target, Result: res}, rendered, nil
 }
 
