@@ -1,0 +1,137 @@
+// Command afterd is the online AFTER recommendation daemon: a long-running
+// HTTP service holding per-room session state. Frame ingestion keeps each
+// room's occlusion input fresh; recommendation requests run the POSHGNN
+// stepper behind a per-room micro-batcher with admission control, deadline
+// propagation, and explicit load shedding (429/503 + Retry-After). SIGTERM
+// drains gracefully: admissions stop, in-flight batches flush, and
+// OBS_serve.json / QUALITY_serve.json snapshots land before exit.
+//
+//	afterd -addr :8080 -train-scale 0.3 -quick        # serve a quick model
+//	afterd -primary nearest                           # skip training
+//	curl -XPOST :8080/v1/rooms -d '{"name":"r","users":24}'
+//	curl -XPOST :8080/v1/rooms/r/frames -d '{"index":0,"positions":[[1,1],...]}'
+//	curl -XPOST :8080/v1/rooms/r/recommend -d '{"target":3,"deadline_ms":50}'
+//
+// -chaos-rate wraps the primary in the fault injector (transient panics and
+// latency spikes), which exercises the resilience chain in staging exactly
+// as the chaos sweep does offline. -debug-addr exposes the live registry
+// (/metrics, /debug/pprof, /quality) while serving.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"after/internal/baselines"
+	"after/internal/chaos"
+	"after/internal/exp"
+	"after/internal/obs"
+	"after/internal/obs/quality"
+	"after/internal/parallel"
+	"after/internal/serve"
+	"after/internal/sim"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	var (
+		addr        = flag.String("addr", ":8080", "serve the recommendation API on this address")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/pprof and /quality on this address (e.g. :6060)")
+		primary     = flag.String("primary", "poshgnn", "primary recommender: poshgnn (trains at startup) or nearest")
+		trainScale  = flag.Float64("train-scale", 0.3, "training room/horizon scale for the poshgnn primary")
+		quick       = flag.Bool("quick", false, "single quick training configuration")
+		seed        = flag.Int64("seed", 0, "seed offset for training and room generation")
+		deadline    = flag.Duration("deadline", 50*time.Millisecond, "default per-request deadline")
+		maxBatch    = flag.Int("max-batch", 16, "micro-batch size cap")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch max-latency window")
+		roomQueue   = flag.Int("room-queue", 64, "per-room pending-request queue bound (full => 429)")
+		globalQueue = flag.Int("global-queue", 1024, "global pending-request bound (full => 503)")
+		concurrency = flag.Int("concurrency", 0, "concurrent batch-processing slots (0 = worker-pool width)")
+		workers     = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		chaosRate   = flag.Float64("chaos-rate", 0, "wrap the primary in the fault injector at this rate (staging)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
+		snapshotDir = flag.String("snapshot-dir", ".", "directory for drain-time OBS_serve.json / QUALITY_serve.json ('' disables)")
+		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "bound on the SIGTERM drain (flush + teardown)")
+		obsOn       = flag.Bool("obs", true, "record observability and quality telemetry")
+	)
+	flag.Parse()
+	parallel.SetLimit(*workers)
+	obs.SetEnabled(*obsOn)
+	quality.SetEnabled(*obsOn)
+
+	var rec sim.Recommender
+	switch *primary {
+	case "nearest":
+		rec = baselines.Nearest{}
+	case "poshgnn":
+		fmt.Printf("afterd: training poshgnn primary (scale %.2f, quick=%v)...\n", *trainScale, *quick)
+		start := time.Now()
+		trained, err := exp.ServePrimary(exp.Options{Scale: *trainScale, Quick: *quick, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "afterd: training: %v\n", err)
+			return 1
+		}
+		rec = trained
+		fmt.Printf("afterd: primary ready in %v\n", time.Since(start).Round(time.Millisecond))
+	default:
+		fmt.Fprintf(os.Stderr, "afterd: unknown -primary %q (want poshgnn or nearest)\n", *primary)
+		return 2
+	}
+	if *chaosRate > 0 {
+		rec = chaos.WrapRecommender(rec, chaos.Uniform(77+*seed, *chaosRate))
+		fmt.Printf("afterd: primary wrapped in fault injector at rate %.2f\n", *chaosRate)
+	}
+
+	srv := serve.New(serve.Config{
+		Primary:         rec,
+		Fallbacks:       []sim.Recommender{baselines.Nearest{}},
+		DefaultDeadline: *deadline,
+		MaxBatch:        *maxBatch,
+		BatchWindow:     *batchWindow,
+		RoomQueue:       *roomQueue,
+		GlobalQueue:     *globalQueue,
+		Concurrency:     *concurrency,
+		RetryAfter:      *retryAfter,
+		SnapshotDir:     *snapshotDir,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afterd: %v\n", err)
+		return 1
+	}
+	fmt.Printf("afterd: serving on %s (deadline %v, batch %d/%v, queues %d/room %d/global)\n",
+		bound, *deadline, *maxBatch, *batchWindow, *roomQueue, *globalQueue)
+
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "afterd: -debug-addr: %v\n", err)
+			return 1
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = dbg.Shutdown(ctx)
+		}()
+		fmt.Printf("afterd: debug endpoint on http://%s\n", dbg.Addr())
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	fmt.Printf("afterd: %v: draining (stop admissions, flush batches, snapshot)...\n", sig)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "afterd: drain: %v\n", err)
+		return 1
+	}
+	fmt.Println("afterd: drained cleanly")
+	return 0
+}

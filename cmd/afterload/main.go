@@ -1,0 +1,128 @@
+// Command afterload is the open-loop load generator for afterd. It creates
+// rooms, streams random-walk position frames (optionally chaos-corrupted),
+// and fires recommendation requests at a fixed offered rate the server
+// cannot slow down — then reports what the server did about it: accepted
+// latency quantiles, shed counts, Retry-After coverage, and the
+// degraded/fallback mix.
+//
+//	afterload -addr http://127.0.0.1:8080 -rps 400 -pattern burst \
+//	          -chaos-rate 0.1 -duration 10s -out BENCH_serve_run.json
+//
+// -assert overload turns the run into a gate for CI: the run fails unless
+// load was shed explicitly (with Retry-After on every shed) and the p99 of
+// accepted requests stayed within the SLO.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"after/internal/obs"
+	"after/internal/serve/load"
+
+	"encoding/json"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "afterd base URL")
+		pattern    = flag.String("pattern", "steady", "offered-rate shape: steady, burst, or flash")
+		rps        = flag.Float64("rps", 200, "aggregate offered request rate across rooms")
+		duration   = flag.Duration("duration", 5*time.Second, "run length")
+		rooms      = flag.Int("rooms", 2, "rooms to create and drive")
+		users      = flag.Int("users", 24, "users per room")
+		kind       = flag.String("kind", "timik", "room dataset kind: timik, smm, or hubs")
+		deadlineMs = flag.Float64("deadline-ms", 50, "per-request deadline sent to the server (0 = server default)")
+		frameHz    = flag.Float64("frame-hz", 10, "per-room frame ingestion rate")
+		chaosRate  = flag.Float64("chaos-rate", 0, "probability a produced frame is corrupted (NaN, short, duplicate/skipped index)")
+		seed       = flag.Int64("seed", 1, "client-side randomness seed (also namespaces room names)")
+		inflight   = flag.Int("max-inflight", 0, "client-side in-flight request cap (0 = default; lower on small machines so the generator's own goroutines don't pollute measured latency)")
+		out        = flag.String("out", "", "write the JSON report to this file")
+		assert     = flag.String("assert", "", "gate mode: 'overload' fails unless sheds>0, Retry-After everywhere, and p99 <= SLO")
+		sloMs      = flag.Float64("slo-ms", 0, "accepted-p99 SLO for -assert, ms (0 = 2x deadline)")
+	)
+	flag.Parse()
+
+	rep, err := load.Run(load.Config{
+		BaseURL:     *addr,
+		Pattern:     load.Pattern(*pattern),
+		Rooms:       *rooms,
+		Users:       *users,
+		Kind:        *kind,
+		Seed:        *seed,
+		RPS:         *rps,
+		Duration:    *duration,
+		DeadlineMs:  *deadlineMs,
+		FrameHz:     *frameHz,
+		ChaosRate:   *chaosRate,
+		MaxInflight: *inflight,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afterload: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("afterload: %s @ %.0f req/s for %.1fs (%d rooms x N=%d, chaos %.0f%%)\n",
+		rep.Pattern, rep.OfferedRPS, rep.DurationSec, rep.Rooms, rep.Users, 100*rep.ChaosRate)
+	fmt.Printf("  sent %d  accepted %d  shed %d (429:%d 503:%d, %.1f%%)  not-sent %d  errors %d\n",
+		rep.Sent, rep.Accepted, rep.ShedTotal(), rep.Shed429, rep.Shed503, 100*rep.ShedRate, rep.NotSent, rep.Errors)
+	fmt.Printf("  accepted latency ms: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f  (violations %d)\n",
+		rep.AcceptedP50Ms, rep.AcceptedP95Ms, rep.AcceptedP99Ms, rep.AcceptedMaxMs, rep.Violations)
+	fmt.Printf("  degraded %d  served-by %v  frames %d (%d faulty)\n",
+		rep.Degraded, rep.ServedBy, rep.FramesSent, rep.FramesFaulty)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "afterload: -out: %v\n", err)
+			return 1
+		}
+		if err := obs.WriteFileAtomic(*out, append(data, '\n')); err != nil {
+			fmt.Fprintf(os.Stderr, "afterload: -out: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	switch *assert {
+	case "":
+		return 0
+	case "overload":
+		slo := *sloMs
+		if slo <= 0 {
+			slo = 2 * *deadlineMs
+		}
+		var fails []string
+		if rep.Accepted == 0 {
+			fails = append(fails, "zero accepted requests — the server shed everything")
+		}
+		if rep.ShedTotal() == 0 {
+			fails = append(fails, "zero sheds under offered overload — queues are not bounding")
+		}
+		if rep.MissingRetryAfter != 0 {
+			fails = append(fails, fmt.Sprintf("%d shed responses missing Retry-After", rep.MissingRetryAfter))
+		}
+		if rep.Errors != 0 {
+			fails = append(fails, fmt.Sprintf("%d transport errors / unexpected statuses", rep.Errors))
+		}
+		if rep.AcceptedP99Ms > slo {
+			fails = append(fails, fmt.Sprintf("accepted p99 %.1fms exceeds SLO %.1fms", rep.AcceptedP99Ms, slo))
+		}
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "afterload: ASSERT overload: %s\n", f)
+			}
+			return 1
+		}
+		fmt.Printf("afterload: ASSERT overload passed (sheds with Retry-After, accepted p99 %.1fms <= SLO %.1fms)\n",
+			rep.AcceptedP99Ms, slo)
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "afterload: unknown -assert %q\n", *assert)
+		return 2
+	}
+}

@@ -480,6 +480,14 @@ func WriteFileAtomic(path string, data []byte) error {
 		cleanup()
 		return err
 	}
+	// fsync before the rename: without it a crash (or power loss) shortly
+	// after the rename can leave the new name pointing at a zero-length or
+	// partial file on journaled filesystems — exactly the window the serving
+	// daemon's drain-time OBS/QUALITY/BENCH snapshots must survive.
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return err

@@ -1,0 +1,341 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+
+	"after/internal/dataset"
+	"after/internal/metrics"
+	"after/internal/occlusion"
+	"after/internal/sim"
+)
+
+// Clock abstracts wall time for the retry/backoff path so the deadline-aware
+// retry budget is unit-testable with a fake clock. The zero Config uses the
+// real clock. The frame-deadline race inside issueStep intentionally stays on
+// real timers — it bounds a live goroutine, not simulated time — so a fake
+// clock only governs when retries are attempted and how long backoff sleeps.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+func (c Config) clock() Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return realClock{}
+}
+
+// graceFor returns how long past a missed deadline dl the runner waits for a
+// straggling Step before abandoning it. With AbandonAfter set the grace is
+// the remainder of that absolute budget; otherwise it defaults to 9×dl (the
+// historical 10×StepDeadline total, minus the deadline already spent).
+func (c Config) graceFor(dl time.Duration) time.Duration {
+	if c.AbandonAfter > 0 {
+		g := c.AbandonAfter - dl
+		if g < 0 {
+			g = 0
+		}
+		return g
+	}
+	return 9 * dl
+}
+
+// Guard wraps one live stepper session — a primary recommender plus its
+// demotion chain — with the full protected-step machinery: panic recovery,
+// deadline-aware retry-with-backoff, the per-step frame deadline raced in a
+// goroutine, demotion down the fallback chain on permanent failure, and the
+// terminal hold-last-rendered-set state. The episode runner drives one Guard
+// over a recorded frame stream; the serving daemon (internal/serve) drives
+// one Guard per live (room, target) session, propagating each request's
+// remaining deadline into Step.
+//
+// A Guard is not safe for concurrent use: callers serialize Step per guard
+// (the serving micro-batcher steps each target on exactly one worker).
+type Guard struct {
+	room   *dataset.Room
+	target int
+	cfg    Config
+	clk    Clock
+
+	tly      tally
+	chain    []sim.Recommender
+	chainIdx int
+	stepper  sim.Stepper // nil once the whole chain is exhausted
+
+	lastRendered []bool
+	latePanics   int // consecutive post-deadline panics on the active stepper
+}
+
+// NewGuard starts a protected session for target in room: the primary
+// recommender backed by cfg.Fallbacks, demoted in order, with hold-last-set
+// as the implicit final fallback. target must be in [0, room.N).
+func NewGuard(rec sim.Recommender, room *dataset.Room, target int, cfg Config) *Guard {
+	g := &Guard{
+		room:         room,
+		target:       target,
+		cfg:          cfg,
+		clk:          cfg.clock(),
+		chain:        append([]sim.Recommender{rec}, cfg.Fallbacks...),
+		lastRendered: make([]bool, room.N),
+	}
+	g.stepper = g.chain[0].StartEpisode(room, target)
+	return g
+}
+
+// Target returns the session's target user.
+func (g *Guard) Target() int { return g.target }
+
+// ServedBy names the recommender currently serving the session, or "hold"
+// once the whole chain is exhausted.
+func (g *Guard) ServedBy() string {
+	if g.stepper == nil {
+		return "hold"
+	}
+	return g.chain[g.chainIdx].Name()
+}
+
+// Robustness returns the session's intervention counters so far.
+func (g *Guard) Robustness() metrics.Robustness { return g.tly.robustness() }
+
+// Step produces the rendered set to serve for step t, degrading instead of
+// failing: the result is always a full-length set. fresh=false means the set
+// came from the hold-state (a missed deadline, exhausted retries, exhausted
+// chain, or malformed stepper output) rather than a live stepper. deadline
+// bounds the whole call — the raced Step attempt, retries, and their backoff
+// sleeps all share it, so a Step call never outlives the caller's budget by
+// more than the configured straggler grace. deadline <= 0 disables the
+// deadline path entirely (inline call, unbounded retries), matching the
+// zero-value episode Config.
+func (g *Guard) Step(t int, frame *occlusion.StaticGraph, deadline time.Duration) (out []bool, fresh bool) {
+	if g.stepper == nil {
+		return g.degrade(), false
+	}
+	raw, ok := g.protectedStep(t, frame, deadline)
+	if !ok {
+		return g.degrade(), false
+	}
+	return g.acceptOutput(raw)
+}
+
+// degrade serves the current step from the last good rendered set.
+func (g *Guard) degrade() []bool {
+	g.tly.bump(kindDegradedStep)
+	out := make([]bool, len(g.lastRendered))
+	copy(out, g.lastRendered)
+	return out
+}
+
+// acceptOutput validates a fresh rendered set, repairing a self-rendered
+// target and degrading on structurally broken output.
+func (g *Guard) acceptOutput(out []bool) ([]bool, bool) {
+	if len(out) != g.room.N {
+		// A stepper returning a malformed set is as bad as one that
+		// panicked for this frame: serve stale instead.
+		return g.degrade(), false
+	}
+	if out[g.target] {
+		fixed := make([]bool, len(out))
+		copy(fixed, out)
+		fixed[g.target] = false
+		out = fixed
+	}
+	copy(g.lastRendered, out)
+	return out, true
+}
+
+// protectedStep runs Step under panic recovery, the frame deadline, and
+// deadline-aware retry-with-backoff, demoting down the fallback chain on
+// permanent failure. ok=false means this step must be served from stale
+// state (the current stepper may or may not survive, per the demotion
+// rules).
+func (g *Guard) protectedStep(t int, frame *occlusion.StaticGraph, dl time.Duration) ([]bool, bool) {
+	// deadlineAt is the absolute budget the whole call — attempts, retries,
+	// and backoff sleeps — must respect. Zero when no deadline applies.
+	var deadlineAt time.Time
+	if dl > 0 {
+		deadlineAt = g.clk.Now().Add(dl)
+	}
+	for g.stepper != nil {
+		retriesLeft := g.cfg.MaxRetries
+		for attempt := 0; ; attempt++ {
+			adl := dl
+			if !deadlineAt.IsZero() {
+				// Later attempts race against what is left of the original
+				// budget, not a fresh full deadline.
+				adl = deadlineAt.Sub(g.clk.Now())
+				if adl <= 0 {
+					// Budget exhausted before the attempt could be issued
+					// (backoff sleeps ate it): serve stale, keep the stepper
+					// — running out of time is not evidence it is broken
+					// beyond the panics already booked.
+					g.tly.bump(kindDeadlineMiss)
+					return nil, false
+				}
+			}
+			out, verdict := g.issueStep(t, frame, adl)
+			switch verdict {
+			case stepOK:
+				g.latePanics = 0
+				return out, true
+			case stepPanicked:
+				g.tly.bump(kindRecoveredPanic)
+				if retriesLeft > 0 {
+					if !g.backoff(attempt, deadlineAt) {
+						// The next backoff sleep would outlive the caller's
+						// deadline: stop retrying, serve stale, keep the
+						// stepper and its remaining retry budget.
+						g.tly.bump(kindDeadlineMiss)
+						return nil, false
+					}
+					retriesLeft--
+					g.tly.bump(kindRetry)
+					continue
+				}
+				g.demote()
+				// The fresh fallback (if any) gets a shot at this frame.
+			case stepDeadlineKept:
+				// Missed the deadline but the straggler finished within
+				// the grace period: serve stale now, keep the stepper.
+				g.tly.bump(kindDeadlineMiss)
+				g.latePanics = 0
+				return nil, false
+			case stepDeadlineLatePanic:
+				// The straggler both missed the deadline and panicked. A
+				// transient panic on an already-missed frame doesn't merit
+				// instant demotion — the frame is served stale either way —
+				// but a stepper that keeps dying late is written off once
+				// it exhausts the retry budget in consecutive misses.
+				g.tly.bump(kindDeadlineMiss)
+				g.tly.bump(kindRecoveredPanic)
+				g.latePanics++
+				if g.latePanics > g.cfg.MaxRetries {
+					g.demote()
+				}
+				return nil, false
+			case stepDeadlineAbandoned:
+				// Straggler still running after the grace period: it is
+				// written off (the goroutine drains harmlessly) and the
+				// chain demotes for future steps.
+				g.tly.bump(kindDeadlineMiss)
+				g.demote()
+				return nil, false
+			}
+			break // demoted: restart the retry budget on the new stepper
+		}
+	}
+	return nil, false
+}
+
+// demote advances the fallback chain, starting the next recommender fresh
+// at the current episode position, or enters permanent hold-last-set mode
+// when the chain is exhausted.
+func (g *Guard) demote() {
+	g.tly.bump(kindDemotion)
+	g.chainIdx++
+	if g.chainIdx < len(g.chain) {
+		g.stepper = g.chain[g.chainIdx].StartEpisode(g.room, g.target)
+	} else {
+		g.stepper = nil
+	}
+}
+
+// backoff sleeps the exponential retry backoff for the given attempt,
+// reporting false — without sleeping — when the sleep would reach or outlive
+// deadlineAt (zero deadlineAt never bounds). A retry whose backoff cannot
+// complete inside the caller's budget is pointless: the result would arrive
+// after the deadline anyway, so the caller serves stale immediately instead.
+func (g *Guard) backoff(attempt int, deadlineAt time.Time) bool {
+	if g.cfg.RetryBackoff <= 0 {
+		return deadlineAt.IsZero() || g.clk.Now().Before(deadlineAt)
+	}
+	if attempt > 6 {
+		attempt = 6 // cap the exponent; backoff is jitter-free and bounded
+	}
+	d := g.cfg.RetryBackoff << uint(attempt)
+	if !deadlineAt.IsZero() && d >= deadlineAt.Sub(g.clk.Now()) {
+		return false
+	}
+	g.clk.Sleep(d)
+	return true
+}
+
+// stepVerdict classifies one issued Step call.
+type stepVerdict int
+
+const (
+	stepOK stepVerdict = iota
+	stepPanicked
+	stepDeadlineKept
+	stepDeadlineLatePanic
+	stepDeadlineAbandoned
+)
+
+// issueStep performs one Step call on the active stepper, inline when no
+// deadline applies, otherwise in a goroutine raced against the deadline
+// timer. The result channel is buffered so an abandoned straggler can always
+// complete its send and be collected.
+func (g *Guard) issueStep(t int, frame *occlusion.StaticGraph, dl time.Duration) ([]bool, stepVerdict) {
+	if dl <= 0 {
+		out, panicErr := safeStep(g.stepper, t, frame)
+		if panicErr != nil {
+			return nil, stepPanicked
+		}
+		return out, stepOK
+	}
+	ch := make(chan stepResult, 1)
+	st := g.stepper
+	go func() {
+		var res stepResult
+		defer func() {
+			if p := recover(); p != nil {
+				res = stepResult{panicErr: fmt.Errorf("resilience: step %d panicked: %v", t, p)}
+			}
+			ch <- res
+		}()
+		res.rendered = st.Step(t, frame)
+	}()
+	deadline := time.NewTimer(dl)
+	defer deadline.Stop()
+	select {
+	case res := <-ch:
+		if res.panicErr != nil {
+			return nil, stepPanicked
+		}
+		return res.rendered, stepOK
+	case <-deadline.C:
+	}
+	// Deadline missed: wait out the grace period for the straggler.
+	graceTimer := time.NewTimer(g.cfg.graceFor(dl))
+	defer graceTimer.Stop()
+	select {
+	case res := <-ch:
+		if res.panicErr != nil {
+			// Late panic: the stepper both blew the deadline and died;
+			// protectedStep decides whether that escalates to a demotion.
+			return nil, stepDeadlineLatePanic
+		}
+		// Late success: the result is stale and discarded, but the
+		// stepper's recurrent state advanced, so it keeps its job.
+		return nil, stepDeadlineKept
+	case <-graceTimer.C:
+		return nil, stepDeadlineAbandoned
+	}
+}
+
+// safeStep calls Step inline, converting a panic into an error.
+func safeStep(st sim.Stepper, t int, frame *occlusion.StaticGraph) (out []bool, panicErr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = nil
+			panicErr = fmt.Errorf("resilience: step %d panicked: %v", t, p)
+		}
+	}()
+	return st.Step(t, frame), nil
+}

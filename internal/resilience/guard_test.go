@@ -1,0 +1,140 @@
+package resilience_test
+
+import (
+	"testing"
+	"time"
+
+	"after/internal/baselines"
+	"after/internal/occlusion"
+	"after/internal/resilience"
+	"after/internal/sim"
+)
+
+// fakeClock is a manual clock: Sleep advances it instantly and records every
+// requested duration, so backoff schedules are asserted without real waiting.
+type fakeClock struct {
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func (c *fakeClock) Now() time.Time { return c.now }
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+}
+
+// TestRetryBudgetDeadlineAware: retry backoff must never outlive the
+// propagated request deadline. With a 25ms budget and 10ms base backoff, a
+// permanently panicking stepper gets attempt 0 (panic), a 10ms backoff,
+// attempt 1 (panic) — and then stops, because the next exponential sleep
+// (20ms) would cross the deadline. The guard serves stale, keeps the
+// stepper, and the fake clock proves no sleep was issued past the budget.
+func TestRetryBudgetDeadlineAware(t *testing.T) {
+	room := buildRoom(8, 4)
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	cfg := resilience.Config{
+		MaxRetries:   10,
+		RetryBackoff: 10 * time.Millisecond,
+		Clock:        clk,
+	}
+	panicky := &faultyRec{k: 2, before: func(int) { panic("always") }}
+	g := resilience.NewGuard(panicky, room, 0, cfg)
+
+	frame := occlusion.BuildStatic(0, room.Traj.Pos[0], room.AvatarRadius)
+	deadline := 25 * time.Millisecond
+	start := clk.now
+	out, fresh := g.Step(0, frame, deadline)
+
+	if fresh {
+		t.Fatal("permanently panicking stepper produced a fresh result")
+	}
+	if len(out) != room.N {
+		t.Fatalf("degraded output length %d, want %d", len(out), room.N)
+	}
+	if got := clk.now.Sub(start); got > deadline {
+		t.Fatalf("retry path consumed %v of fake time, beyond the %v deadline", got, deadline)
+	}
+	if len(clk.sleeps) != 1 || clk.sleeps[0] != 10*time.Millisecond {
+		t.Fatalf("backoff sleeps %v, want exactly [10ms]", clk.sleeps)
+	}
+	rb := g.Robustness()
+	if rb.RecoveredPanics != 2 || rb.Retries != 1 {
+		t.Fatalf("counters %+v, want 2 recovered panics and 1 retry", rb)
+	}
+	if rb.DeadlineMisses != 1 {
+		t.Fatalf("deadline misses %d, want 1 (retry budget exhausted by deadline)", rb.DeadlineMisses)
+	}
+	if rb.Demotions != 0 {
+		t.Fatalf("demotions %d, want 0: a deadline running out is not evidence the stepper is broken", rb.Demotions)
+	}
+	if g.ServedBy() != "Faulty" {
+		t.Fatalf("served by %q, want the primary to keep its job", g.ServedBy())
+	}
+}
+
+// TestRetryBudgetUnboundedWithoutDeadline: with no deadline the retry loop
+// keeps the historical semantics — MaxRetries sleeps, then demotion.
+func TestRetryBudgetUnboundedWithoutDeadline(t *testing.T) {
+	room := buildRoom(8, 4)
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	cfg := resilience.Config{
+		MaxRetries:   3,
+		RetryBackoff: 10 * time.Millisecond,
+		Clock:        clk,
+		Fallbacks:    []sim.Recommender{baselines.Nearest{}},
+	}
+	panicky := &faultyRec{k: 2, before: func(int) { panic("always") }}
+	g := resilience.NewGuard(panicky, room, 0, cfg)
+
+	frame := occlusion.BuildStatic(0, room.Traj.Pos[0], room.AvatarRadius)
+	out, fresh := g.Step(0, frame, 0)
+	if !fresh {
+		t.Fatal("fallback chain should have produced a fresh result")
+	}
+	if len(out) != room.N {
+		t.Fatalf("output length %d", len(out))
+	}
+	// 3 retries → sleeps 10, 20, 40ms, then demotion to Nearest.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(clk.sleeps) != len(want) {
+		t.Fatalf("sleeps %v, want %v", clk.sleeps, want)
+	}
+	for i, d := range want {
+		if clk.sleeps[i] != d {
+			t.Fatalf("sleep %d = %v, want %v", i, clk.sleeps[i], d)
+		}
+	}
+	rb := g.Robustness()
+	if rb.Demotions != 1 || rb.Retries != 3 {
+		t.Fatalf("counters %+v, want 1 demotion and 3 retries", rb)
+	}
+	if g.ServedBy() != "Nearest" {
+		t.Fatalf("served by %q, want Nearest after demotion", g.ServedBy())
+	}
+}
+
+// TestGuardTightDeadlineSkipsAttempt: a Step call whose budget is already
+// gone after the first backoff must not issue another attempt at all.
+func TestGuardTightDeadlineSkipsAttempt(t *testing.T) {
+	room := buildRoom(8, 4)
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	cfg := resilience.Config{
+		MaxRetries:   10,
+		RetryBackoff: time.Millisecond,
+		Clock:        clk,
+	}
+	calls := 0
+	panicky := &faultyRec{k: 2, before: func(int) { calls++; panic("always") }}
+	g := resilience.NewGuard(panicky, room, 0, cfg)
+	frame := occlusion.BuildStatic(0, room.Traj.Pos[0], room.AvatarRadius)
+
+	// Budget covers the first attempt and the 1ms backoff, then expires
+	// exactly at the 2ms second backoff: 1 + 2 >= 3ms.
+	_, fresh := g.Step(0, frame, 3*time.Millisecond)
+	if fresh {
+		t.Fatal("expected stale result")
+	}
+	if calls != 2 {
+		t.Fatalf("stepper invoked %d times, want 2 (attempt, one retry, then budget out)", calls)
+	}
+}

@@ -101,26 +101,24 @@ type Config struct {
 	// at the current step. After the last entry the runner holds the last
 	// rendered set for the remainder of the episode.
 	Fallbacks []sim.Recommender
+	// Clock overrides wall time for retry/backoff bookkeeping (fake clocks
+	// in tests); nil uses the real clock.
+	Clock Clock
 }
 
-func (c Config) abandonAfter() time.Duration {
-	if c.AbandonAfter > 0 {
-		return c.AbandonAfter
-	}
-	return 10 * c.StepDeadline
-}
-
-// sanitizer repairs raw frames into full-length, finite position snapshots.
+// Sanitizer repairs raw frames into full-length, finite position snapshots.
 // It carries the last known good position per user so NaN/Inf coordinates
 // and churned-away users degrade to bounded-stale data instead of poisoning
-// the occlusion converter.
-type sanitizer struct {
+// the occlusion converter. The resilient episode runner owns one per
+// episode; the serving daemon owns one per live room.
+type Sanitizer struct {
 	n        int
 	lastGood []geom.Vec2
 }
 
-func newSanitizer(n int) *sanitizer {
-	return &sanitizer{n: n, lastGood: make([]geom.Vec2, n)}
+// NewSanitizer returns a Sanitizer for rooms of n users.
+func NewSanitizer(n int) *Sanitizer {
+	return &Sanitizer{n: n, lastGood: make([]geom.Vec2, n)}
 }
 
 func finite(v geom.Vec2) bool {
@@ -128,9 +126,9 @@ func finite(v geom.Vec2) bool {
 		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
 }
 
-// sanitize returns a full-length finite snapshot and whether any repair was
+// Sanitize returns a full-length finite snapshot and whether any repair was
 // necessary. The returned slice is owned by the caller.
-func (s *sanitizer) sanitize(raw []geom.Vec2) (pos []geom.Vec2, repaired bool) {
+func (s *Sanitizer) Sanitize(raw []geom.Vec2) (pos []geom.Vec2, repaired bool) {
 	pos = make([]geom.Vec2, s.n)
 	if len(raw) != s.n {
 		repaired = true // churned (short) or over-long frame

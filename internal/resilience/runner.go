@@ -12,24 +12,16 @@ import (
 	"after/internal/sim"
 )
 
-// runner holds the mutable state of one resilient episode.
+// runner holds the frame-plumbing state of one resilient episode; the
+// protected stepping itself lives in the embedded Guard (shared with the
+// online serving daemon).
 type runner struct {
-	room   *dataset.Room
-	target int
-	cfg    Config
-	src    Source
+	g   *Guard
+	src Source
+	san *Sanitizer
 
-	san *sanitizer
-	tly tally
-
-	chain    []sim.Recommender
-	chainIdx int
-	stepper  sim.Stepper // nil once the whole chain is exhausted
-
-	pending      *Frame // buffered future frame (arrived ahead of time)
-	lastIndex    int    // last consumed input index (-1 before the first)
-	lastRendered []bool // last good rendered set (the hold-state fallback)
-	latePanics   int    // consecutive post-deadline panics on the active stepper
+	pending   *Frame // buffered future frame (arrived ahead of time)
+	lastIndex int    // last consumed input index (-1 before the first)
 }
 
 // stepResult is what a protected Step call produced.
@@ -62,16 +54,11 @@ func RunEpisodeTrace(rec sim.Recommender, room *dataset.Room, truth *occlusion.D
 		src = NewTrajectorySource(room.Traj)
 	}
 	r := &runner{
-		room:         room,
-		target:       truth.Target,
-		cfg:          cfg,
-		src:          src,
-		san:          newSanitizer(room.N),
-		chain:        append([]sim.Recommender{rec}, cfg.Fallbacks...),
-		lastIndex:    -1,
-		lastRendered: make([]bool, room.N),
+		g:         NewGuard(rec, room, truth.Target, cfg),
+		src:       src,
+		san:       NewSanitizer(room.N),
+		lastIndex: -1,
 	}
-	r.stepper = r.chain[0].StartEpisode(room, truth.Target)
 
 	rendered := make([][]bool, steps)
 	var elapsed time.Duration
@@ -79,28 +66,23 @@ func RunEpisodeTrace(rec sim.Recommender, room *dataset.Room, truth *occlusion.D
 		raw, ok := r.frameFor(t)
 		if !ok {
 			// Gap or exhausted stream: bridge with the last rendered set.
-			r.tly.bump(kindDroppedFrame)
-			rendered[t] = r.degrade()
+			r.g.tly.bump(kindDroppedFrame)
+			rendered[t] = r.g.degrade()
 			continue
 		}
-		pos, repaired := r.san.sanitize(raw)
+		pos, repaired := r.san.Sanitize(raw)
 		if repaired {
-			r.tly.bump(kindSanitizedFrame)
+			r.g.tly.bump(kindSanitizedFrame)
 		}
-		frame := occlusion.BuildStatic(r.target, pos, room.AvatarRadius)
-		if r.stepper == nil {
+		frame := occlusion.BuildStatic(truth.Target, pos, room.AvatarRadius)
+		if r.g.stepper == nil {
 			// Whole chain exhausted earlier: permanent hold-last-set.
-			rendered[t] = r.degrade()
+			rendered[t] = r.g.degrade()
 			continue
 		}
 		start := time.Now()
-		out, ok := r.protectedStep(t, frame)
+		rendered[t], _ = r.g.Step(t, frame, cfg.StepDeadline)
 		elapsed += time.Since(start)
-		if !ok {
-			rendered[t] = r.degrade()
-			continue
-		}
-		rendered[t] = r.acceptOutput(out)
 	}
 
 	res, err := metrics.Score(room, truth, rendered, beta)
@@ -108,7 +90,7 @@ func RunEpisodeTrace(rec sim.Recommender, room *dataset.Room, truth *occlusion.D
 		return sim.EpisodeResult{}, nil, err
 	}
 	res.StepTime = elapsed / time.Duration(steps)
-	res.Robustness = r.tly.robustness()
+	res.Robustness = r.g.Robustness()
 	// Quality telemetry over the realized (possibly degraded) trace, scored
 	// against the ground-truth DOG — so fault-induced utility loss shows up
 	// as regret and drift, which is exactly what the detectors monitor during
@@ -117,32 +99,6 @@ func RunEpisodeTrace(rec sim.Recommender, room *dataset.Room, truth *occlusion.D
 		quality.Default().RecordEpisode(rec.Name(), room, truth, rendered, beta)
 	}
 	return sim.EpisodeResult{Recommender: rec.Name(), Target: truth.Target, Result: res}, rendered, nil
-}
-
-// degrade serves the current step from the last good rendered set.
-func (r *runner) degrade() []bool {
-	r.tly.bump(kindDegradedStep)
-	out := make([]bool, len(r.lastRendered))
-	copy(out, r.lastRendered)
-	return out
-}
-
-// acceptOutput validates a fresh rendered set, repairing a self-rendered
-// target and degrading on structurally broken output.
-func (r *runner) acceptOutput(out []bool) []bool {
-	if len(out) != r.room.N {
-		// A stepper returning a malformed set is as bad as one that
-		// panicked for this frame: serve stale instead.
-		return r.degrade()
-	}
-	if out[r.target] {
-		fixed := make([]bool, len(out))
-		copy(fixed, out)
-		fixed[r.target] = false
-		out = fixed
-	}
-	copy(r.lastRendered, out)
-	return out
 }
 
 // frameFor returns the raw positions claimed for output step t, consuming
@@ -187,168 +143,10 @@ func (r *runner) frameFor(t int) ([]geom.Vec2, bool) {
 // duplicate, anything else arrived out of order.
 func (r *runner) classifyStale(index int) {
 	if index == r.lastIndex {
-		r.tly.bump(kindDuplicateFrame)
+		r.g.tly.bump(kindDuplicateFrame)
 	} else {
-		r.tly.bump(kindReorderedFrame)
+		r.g.tly.bump(kindReorderedFrame)
 	}
-}
-
-// protectedStep runs Step under panic recovery, the frame deadline, and
-// retry-with-backoff, demoting down the fallback chain on permanent
-// failure. ok=false means this step must be served from stale state (the
-// current stepper may or may not survive, per the demotion rules).
-func (r *runner) protectedStep(t int, frame *occlusion.StaticGraph) ([]bool, bool) {
-	for r.stepper != nil {
-		retriesLeft := r.cfg.MaxRetries
-		for attempt := 0; ; attempt++ {
-			out, verdict := r.issueStep(t, frame)
-			switch verdict {
-			case stepOK:
-				r.latePanics = 0
-				return out, true
-			case stepPanicked:
-				r.tly.bump(kindRecoveredPanic)
-				if retriesLeft > 0 {
-					retriesLeft--
-					r.tly.bump(kindRetry)
-					r.backoff(attempt)
-					continue
-				}
-				r.demote()
-				// The fresh fallback (if any) gets a shot at this frame.
-			case stepDeadlineKept:
-				// Missed the deadline but the straggler finished within
-				// the grace period: serve stale now, keep the stepper.
-				r.tly.bump(kindDeadlineMiss)
-				r.latePanics = 0
-				return nil, false
-			case stepDeadlineLatePanic:
-				// The straggler both missed the deadline and panicked. A
-				// transient panic on an already-missed frame doesn't merit
-				// instant demotion — the frame is served stale either way —
-				// but a stepper that keeps dying late is written off once
-				// it exhausts the retry budget in consecutive misses.
-				r.tly.bump(kindDeadlineMiss)
-				r.tly.bump(kindRecoveredPanic)
-				r.latePanics++
-				if r.latePanics > r.cfg.MaxRetries {
-					r.demote()
-				}
-				return nil, false
-			case stepDeadlineAbandoned:
-				// Straggler still running after the grace period: it is
-				// written off (the goroutine drains harmlessly) and the
-				// chain demotes for future steps.
-				r.tly.bump(kindDeadlineMiss)
-				r.demote()
-				return nil, false
-			}
-			break // demoted: restart the retry budget on the new stepper
-		}
-	}
-	return nil, false
-}
-
-// demote advances the fallback chain, starting the next recommender fresh
-// at the current episode position, or enters permanent hold-last-set mode
-// when the chain is exhausted.
-func (r *runner) demote() {
-	r.tly.bump(kindDemotion)
-	r.chainIdx++
-	if r.chainIdx < len(r.chain) {
-		r.stepper = r.chain[r.chainIdx].StartEpisode(r.room, r.target)
-	} else {
-		r.stepper = nil
-	}
-}
-
-// backoff sleeps the exponential retry backoff for the given attempt.
-func (r *runner) backoff(attempt int) {
-	if r.cfg.RetryBackoff <= 0 {
-		return
-	}
-	if attempt > 6 {
-		attempt = 6 // cap the exponent; backoff is jitter-free and bounded
-	}
-	time.Sleep(r.cfg.RetryBackoff << uint(attempt))
-}
-
-// stepVerdict classifies one issued Step call.
-type stepVerdict int
-
-const (
-	stepOK stepVerdict = iota
-	stepPanicked
-	stepDeadlineKept
-	stepDeadlineLatePanic
-	stepDeadlineAbandoned
-)
-
-// issueStep performs one Step call on the active stepper, inline when no
-// deadline is configured, otherwise in a goroutine raced against the
-// deadline timer. The result channel is buffered so an abandoned straggler
-// can always complete its send and be collected.
-func (r *runner) issueStep(t int, frame *occlusion.StaticGraph) ([]bool, stepVerdict) {
-	if r.cfg.StepDeadline <= 0 {
-		out, panicErr := safeStep(r.stepper, t, frame)
-		if panicErr != nil {
-			return nil, stepPanicked
-		}
-		return out, stepOK
-	}
-	ch := make(chan stepResult, 1)
-	st := r.stepper
-	go func() {
-		var res stepResult
-		defer func() {
-			if p := recover(); p != nil {
-				res = stepResult{panicErr: fmt.Errorf("resilience: step %d panicked: %v", t, p)}
-			}
-			ch <- res
-		}()
-		res.rendered = st.Step(t, frame)
-	}()
-	deadline := time.NewTimer(r.cfg.StepDeadline)
-	defer deadline.Stop()
-	select {
-	case res := <-ch:
-		if res.panicErr != nil {
-			return nil, stepPanicked
-		}
-		return res.rendered, stepOK
-	case <-deadline.C:
-	}
-	// Deadline missed: wait out the grace period for the straggler.
-	grace := r.cfg.abandonAfter() - r.cfg.StepDeadline
-	if grace < 0 {
-		grace = 0
-	}
-	graceTimer := time.NewTimer(grace)
-	defer graceTimer.Stop()
-	select {
-	case res := <-ch:
-		if res.panicErr != nil {
-			// Late panic: the stepper both blew the deadline and died;
-			// protectedStep decides whether that escalates to a demotion.
-			return nil, stepDeadlineLatePanic
-		}
-		// Late success: the result is stale and discarded, but the
-		// stepper's recurrent state advanced, so it keeps its job.
-		return nil, stepDeadlineKept
-	case <-graceTimer.C:
-		return nil, stepDeadlineAbandoned
-	}
-}
-
-// safeStep calls Step inline, converting a panic into an error.
-func safeStep(st sim.Stepper, t int, frame *occlusion.StaticGraph) (out []bool, panicErr error) {
-	defer func() {
-		if p := recover(); p != nil {
-			out = nil
-			panicErr = fmt.Errorf("resilience: step %d panicked: %v", t, p)
-		}
-	}()
-	return st.Step(t, frame), nil
 }
 
 // Evaluate mirrors sim.Evaluate through the resilient runner: each

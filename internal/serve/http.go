@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"after/internal/geom"
+)
+
+// Handler returns the daemon's HTTP API (Go 1.22 pattern routing):
+//
+//	POST /v1/rooms                    create a room (RoomSpec body)
+//	GET  /v1/rooms                    list room stats
+//	GET  /v1/rooms/{id}               one room's stats
+//	POST /v1/rooms/{id}/frames        ingest a position frame
+//	POST /v1/rooms/{id}/recommend     request a rendered set
+//	GET  /healthz                     liveness (always 200 while serving)
+//	GET  /readyz                      readiness (503 once draining)
+//
+// Shed responses (429/503 with a JSON error body) always carry a
+// Retry-After header.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/rooms", s.handleCreateRoom)
+	mux.HandleFunc("GET /v1/rooms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Rooms())
+	})
+	mux.HandleFunc("GET /v1/rooms/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.RoomInfo(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /v1/rooms/{id}/frames", s.handleFrame)
+	mux.HandleFunc("POST /v1/rooms/{id}/recommend", s.handleRecommend)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+func (s *Server) handleCreateRoom(w http.ResponseWriter, r *http.Request) {
+	var spec RoomSpec
+	if err := decodeJSON(r, &spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, err := s.CreateRoom(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// frameBody is the ingestion payload: the producer-claimed index and the
+// observed positions as [x, z] pairs. Positions may be short, over-long, or
+// non-finite — the sanitizer repairs them (JSON cannot carry NaN, so the
+// wire encodes a missing coordinate as null, decoded to NaN below).
+type frameBody struct {
+	Index     int          `json:"index"`
+	Positions [][]*float64 `json:"positions"`
+}
+
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	var body frameBody
+	if err := decodeJSON(r, &body); err != nil {
+		writeErr(w, err)
+		return
+	}
+	raw := make([]geom.Vec2, len(body.Positions))
+	for i, p := range body.Positions {
+		raw[i] = geom.Vec2{X: nanIfNil(p, 0), Z: nanIfNil(p, 1)}
+	}
+	ack, err := s.IngestFrame(r.PathValue("id"), body.Index, raw)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+func nanIfNil(p []*float64, i int) float64 {
+	if i >= len(p) || p[i] == nil {
+		return math.NaN()
+	}
+	return *p[i]
+}
+
+// recBody is the recommendation payload.
+type recBody struct {
+	Target     int     `json:"target"`
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var body recBody
+	if err := decodeJSON(r, &body); err != nil {
+		writeErr(w, err)
+		return
+	}
+	deadline := time.Duration(body.DeadlineMs * float64(time.Millisecond))
+	res, err := s.Recommend(r.Context(), r.PathValue("id"), body.Target, deadline)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	if err := dec.Decode(v); err != nil {
+		return &APIError{Status: http.StatusBadRequest, Msg: fmt.Sprintf("bad request body: %v", err)}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr renders an error: APIErrors keep their status and, when shedding,
+// attach the Retry-After header; anything else is a 500.
+func writeErr(w http.ResponseWriter, err error) {
+	ae, ok := err.(*APIError)
+	if !ok {
+		ae = &APIError{Status: http.StatusInternalServerError, Msg: err.Error()}
+	}
+	if ae.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(ae.RetryAfter)))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ae.Status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error":          ae.Msg,
+		"retry_after_ms": ae.RetryAfter.Milliseconds(),
+	})
+}

@@ -1,0 +1,480 @@
+// Package load is the open-loop load generator behind cmd/afterload and the
+// -exp serve sweep. It drives an afterd instance over real HTTP: per room,
+// one producer goroutine streams random-walk position frames (optionally
+// chaos-corrupted: NaN coordinates, short frames, duplicate and skipped
+// indices) while an arrival goroutine fires recommendation requests at an
+// offered rate the server does not control — the generator never slows down
+// because the server is struggling (open loop), which is exactly the
+// regime where bounded queues and explicit shedding matter.
+//
+// Patterns: steady holds the offered rate flat; burst alternates quiet and
+// 2x phases; flash starts quiet and doubles abruptly mid-run (a flash
+// crowd). The Report aggregates client-observed truth: accepted latency
+// quantiles, shed counts split by status, Retry-After coverage, and the
+// degraded/fallback mix the resilience chain served.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pattern shapes the offered-rate curve over the run.
+type Pattern string
+
+const (
+	// Steady holds the offered rate flat for the whole run.
+	Steady Pattern = "steady"
+	// Burst alternates 0.5x and 2x phases (six phases per run), averaging
+	// about the configured rate but stressing the queues in waves.
+	Burst Pattern = "burst"
+	// Flash runs at 0.3x for the first half, then jumps to 2x — the flash
+	// crowd every social platform eventually meets.
+	Flash Pattern = "flash"
+)
+
+// Config tunes one load run.
+type Config struct {
+	// BaseURL is the afterd endpoint, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Pattern is the offered-rate shape (default Steady).
+	Pattern Pattern
+	// Rooms is how many rooms to create and drive (default 2).
+	Rooms int
+	// Users is the per-room population (default 24).
+	Users int
+	// Kind is the dataset generator for created rooms (default "timik").
+	Kind string
+	// Seed drives all client-side randomness.
+	Seed int64
+	// RPS is the aggregate offered request rate across rooms (required).
+	RPS float64
+	// Duration is the run length (default 2s).
+	Duration time.Duration
+	// DeadlineMs is the per-request deadline sent to the server; 0 lets the
+	// server default apply (and disables client-side violation accounting).
+	DeadlineMs float64
+	// FrameHz is the per-room frame ingestion rate (default 10).
+	FrameHz float64
+	// ChaosRate is the probability a produced frame is corrupted (NaN
+	// coordinate, short frame, duplicate or skipped index).
+	ChaosRate float64
+	// MaxInflight caps concurrent in-flight requests client-side so a
+	// fully wedged server cannot OOM the generator (default 1024; overflow
+	// is counted as NotSent, not silently dropped).
+	MaxInflight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pattern == "" {
+		c.Pattern = Steady
+	}
+	if c.Rooms <= 0 {
+		c.Rooms = 2
+	}
+	if c.Users <= 0 {
+		c.Users = 24
+	}
+	if c.Kind == "" {
+		c.Kind = "timik"
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.FrameHz <= 0 {
+		c.FrameHz = 10
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 1024
+	}
+	return c
+}
+
+// Report is the client-observed outcome of one run.
+type Report struct {
+	Pattern     string  `json:"pattern"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	Rooms       int     `json:"rooms"`
+	Users       int     `json:"users"`
+	ChaosRate   float64 `json:"chaos_rate"`
+	DeadlineMs  float64 `json:"deadline_ms"`
+
+	Sent     int64 `json:"sent"`
+	Accepted int64 `json:"accepted"`
+	Shed429  int64 `json:"shed_429"`
+	Shed503  int64 `json:"shed_503"`
+	// NotSent counts arrivals suppressed by the client-side inflight cap.
+	NotSent int64 `json:"not_sent"`
+	// NotReady counts 409s (room had no frames yet at arrival).
+	NotReady int64 `json:"not_ready"`
+	Errors   int64 `json:"errors"`
+	// MissingRetryAfter counts shed responses without a Retry-After header
+	// — the contract is that this stays zero.
+	MissingRetryAfter int64 `json:"missing_retry_after"`
+
+	// Degraded counts accepted responses served from hold-state
+	// (fresh=false); ServedBy is the recommender mix of accepted responses.
+	Degraded int64            `json:"degraded"`
+	ServedBy map[string]int64 `json:"served_by"`
+
+	AcceptedP50Ms float64 `json:"accepted_p50_ms"`
+	AcceptedP95Ms float64 `json:"accepted_p95_ms"`
+	AcceptedP99Ms float64 `json:"accepted_p99_ms"`
+	AcceptedMaxMs float64 `json:"accepted_max_ms"`
+	ShedRate      float64 `json:"shed_rate"`
+	// Violations counts accepted responses whose client-observed latency
+	// exceeded 1.25x the requested deadline plus 20ms of transport slack —
+	// the "accepted work must finish inside its budget" contract.
+	Violations int64 `json:"violations"`
+
+	FramesSent   int64 `json:"frames_sent"`
+	FramesFaulty int64 `json:"frames_faulty"`
+}
+
+// ShedTotal is the number of load-shedding responses (429 + 503).
+func (r *Report) ShedTotal() int64 { return r.Shed429 + r.Shed503 }
+
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	servedBy  map[string]int64
+
+	sent, accepted, shed429, shed503 atomic.Int64
+	notSent, notReady, errors        atomic.Int64
+	missingRetryAfter, degraded      atomic.Int64
+	violations                       atomic.Int64
+	framesSent, framesFaulty         atomic.Int64
+}
+
+func (c *collector) accept(d time.Duration, servedBy string, fresh bool) {
+	c.accepted.Add(1)
+	if !fresh {
+		c.degraded.Add(1)
+	}
+	c.mu.Lock()
+	c.latencies = append(c.latencies, d)
+	c.servedBy[servedBy]++
+	c.mu.Unlock()
+}
+
+type recResponse struct {
+	ServedBy string `json:"served_by"`
+	Fresh    bool   `json:"fresh"`
+}
+
+// Run executes one load run and returns the aggregated report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.RPS <= 0 {
+		return nil, fmt.Errorf("load: RPS must be positive")
+	}
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.MaxInflight,
+			MaxIdleConnsPerHost: cfg.MaxInflight,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	col := &collector{servedBy: make(map[string]int64)}
+	inflight := make(chan struct{}, cfg.MaxInflight)
+	runID := cfg.Seed
+
+	// Create the rooms up front and seed each with one frame so the run
+	// never races room creation against the first arrivals.
+	roomIDs := make([]string, cfg.Rooms)
+	producers := make([]*producer, cfg.Rooms)
+	for i := range roomIDs {
+		roomIDs[i] = fmt.Sprintf("load-%d-%d", runID, i)
+		spec := map[string]any{
+			"name":  roomIDs[i],
+			"kind":  cfg.Kind,
+			"users": cfg.Users,
+			"seed":  cfg.Seed + int64(i),
+		}
+		if err := postJSON(client, cfg.BaseURL+"/v1/rooms", spec, http.StatusCreated); err != nil {
+			return nil, fmt.Errorf("load: create room %s: %w", roomIDs[i], err)
+		}
+		producers[i] = newProducer(cfg, roomIDs[i], rand.New(rand.NewSource(cfg.Seed*1000+int64(i))))
+		if err := producers[i].sendFrame(client, col); err != nil {
+			return nil, fmt.Errorf("load: seed frame for %s: %w", roomIDs[i], err)
+		}
+	}
+
+	start := time.Now()
+	end := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+
+	// Frame producers: one per room, fixed cadence, chaos-corrupted.
+	for i := range producers {
+		wg.Add(1)
+		go func(p *producer) {
+			defer wg.Done()
+			tick := time.NewTicker(time.Duration(float64(time.Second) / cfg.FrameHz))
+			defer tick.Stop()
+			for time.Now().Before(end) {
+				<-tick.C
+				_ = p.sendFrame(client, col) // faults are the server's problem
+			}
+		}(producers[i])
+	}
+
+	// Arrival generators: one per room, open loop at the pattern rate.
+	perRoom := cfg.RPS / float64(cfg.Rooms)
+	var reqWG sync.WaitGroup
+	for i := range roomIDs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*7777 + int64(i)))
+			next := time.Now()
+			for {
+				now := time.Now()
+				if !now.Before(end) {
+					return
+				}
+				frac := now.Sub(start).Seconds() / cfg.Duration.Seconds()
+				rate := perRoom * rateMultiplier(cfg.Pattern, frac)
+				next = next.Add(time.Duration(float64(time.Second) / rate))
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				target := rng.Intn(cfg.Users)
+				select {
+				case inflight <- struct{}{}:
+				default:
+					col.notSent.Add(1)
+					continue
+				}
+				reqWG.Add(1)
+				go func(room string, target int) {
+					defer reqWG.Done()
+					defer func() { <-inflight }()
+					fire(client, cfg, col, room, target)
+				}(roomIDs[i], target)
+			}
+		}(i)
+	}
+	wg.Wait()
+	reqWG.Wait()
+	elapsed := time.Since(start)
+
+	return col.report(cfg, elapsed), nil
+}
+
+// rateMultiplier shapes the offered rate: frac is run progress in [0, 1).
+func rateMultiplier(p Pattern, frac float64) float64 {
+	switch p {
+	case Burst:
+		// Six alternating phases: 0.5, 2.0, 0.5, ...
+		if int(frac*6)%2 == 1 {
+			return 2.0
+		}
+		return 0.5
+	case Flash:
+		if frac < 0.5 {
+			return 0.3
+		}
+		return 2.0
+	default:
+		return 1.0
+	}
+}
+
+// fire sends one recommendation request and books the outcome.
+func fire(client *http.Client, cfg Config, col *collector, room string, target int) {
+	col.sent.Add(1)
+	body := fmt.Sprintf(`{"target":%d,"deadline_ms":%g}`, target, cfg.DeadlineMs)
+	start := time.Now()
+	resp, err := client.Post(cfg.BaseURL+"/v1/rooms/"+room+"/recommend", "application/json", strings.NewReader(body))
+	if err != nil {
+		col.errors.Add(1)
+		return
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	e2e := time.Since(start)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rr recResponse
+		_ = json.Unmarshal(data, &rr)
+		col.accept(e2e, rr.ServedBy, rr.Fresh)
+		if cfg.DeadlineMs > 0 {
+			budget := time.Duration(cfg.DeadlineMs*1.25*float64(time.Millisecond)) + 20*time.Millisecond
+			if e2e > budget {
+				col.violations.Add(1)
+			}
+		}
+	case http.StatusTooManyRequests:
+		col.shed429.Add(1)
+		if resp.Header.Get("Retry-After") == "" {
+			col.missingRetryAfter.Add(1)
+		}
+	case http.StatusServiceUnavailable:
+		col.shed503.Add(1)
+		if resp.Header.Get("Retry-After") == "" {
+			col.missingRetryAfter.Add(1)
+		}
+	case http.StatusConflict:
+		col.notReady.Add(1)
+	default:
+		col.errors.Add(1)
+	}
+}
+
+func (c *collector) report(cfg Config, elapsed time.Duration) *Report {
+	c.mu.Lock()
+	lat := append([]time.Duration(nil), c.latencies...)
+	servedBy := make(map[string]int64, len(c.servedBy))
+	for k, v := range c.servedBy {
+		servedBy[k] = v
+	}
+	c.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return float64(lat[i]) / float64(time.Millisecond)
+	}
+	r := &Report{
+		Pattern:           string(cfg.Pattern),
+		OfferedRPS:        cfg.RPS,
+		DurationSec:       elapsed.Seconds(),
+		Rooms:             cfg.Rooms,
+		Users:             cfg.Users,
+		ChaosRate:         cfg.ChaosRate,
+		DeadlineMs:        cfg.DeadlineMs,
+		Sent:              c.sent.Load(),
+		Accepted:          c.accepted.Load(),
+		Shed429:           c.shed429.Load(),
+		Shed503:           c.shed503.Load(),
+		NotSent:           c.notSent.Load(),
+		NotReady:          c.notReady.Load(),
+		Errors:            c.errors.Load(),
+		MissingRetryAfter: c.missingRetryAfter.Load(),
+		Degraded:          c.degraded.Load(),
+		ServedBy:          servedBy,
+		AcceptedP50Ms:     q(0.50),
+		AcceptedP95Ms:     q(0.95),
+		AcceptedP99Ms:     q(0.99),
+		AcceptedMaxMs:     q(1.0),
+		Violations:        c.violations.Load(),
+		FramesSent:        c.framesSent.Load(),
+		FramesFaulty:      c.framesFaulty.Load(),
+	}
+	if r.Sent > 0 {
+		r.ShedRate = float64(r.Shed429+r.Shed503) / float64(r.Sent)
+	}
+	return r
+}
+
+// producer streams random-walk frames for one room, with seeded chaos.
+type producer struct {
+	room  string
+	base  string
+	users int
+	chaos float64
+	rng   *rand.Rand
+	pos   [][2]float64
+	index int
+}
+
+func newProducer(cfg Config, room string, rng *rand.Rand) *producer {
+	roomSize := 10.0
+	if cfg.Kind == "hubs" {
+		roomSize = 6.0
+	}
+	p := &producer{room: room, base: cfg.BaseURL, users: cfg.Users, chaos: cfg.ChaosRate, rng: rng}
+	p.pos = make([][2]float64, cfg.Users)
+	for w := range p.pos {
+		p.pos[w] = [2]float64{0.5 + rng.Float64()*(roomSize-1), 0.5 + rng.Float64()*(roomSize-1)}
+	}
+	return p
+}
+
+// sendFrame advances the random walk one step and posts it, possibly
+// corrupted: NaN coordinate (null on the wire), short frame, duplicate
+// index, or skipped index.
+func (p *producer) sendFrame(client *http.Client, col *collector) error {
+	for w := range p.pos {
+		p.pos[w][0] += (p.rng.Float64() - 0.5) * 0.3
+		p.pos[w][1] += (p.rng.Float64() - 0.5) * 0.3
+	}
+	index := p.index
+	advance := 1
+	rows := len(p.pos)
+	nanAt := -1
+	if p.chaos > 0 && p.rng.Float64() < p.chaos {
+		col.framesFaulty.Add(1)
+		switch p.rng.Intn(4) {
+		case 0: // NaN coordinate
+			nanAt = p.rng.Intn(rows)
+		case 1: // short frame (churn)
+			rows = 1 + p.rng.Intn(rows-1)
+		case 2: // duplicate index: re-claim the previous index; the next
+			// good frame still claims the unburned p.index.
+			if index > 0 {
+				index--
+				advance = 0
+			}
+		case 3: // skipped index: jump one ahead and stay ahead.
+			index++
+			advance = 2
+		}
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"index":%d,"positions":[`, index)
+	for w := 0; w < rows; w++ {
+		if w > 0 {
+			b.WriteByte(',')
+		}
+		if w == nanAt {
+			fmt.Fprintf(&b, `[null,%g]`, p.pos[w][1])
+		} else {
+			fmt.Fprintf(&b, `[%g,%g]`, p.pos[w][0], p.pos[w][1])
+		}
+	}
+	b.WriteString("]}")
+	p.index += advance
+	col.framesSent.Add(1)
+	resp, err := client.Post(p.base+"/v1/rooms/"+p.room+"/frames", "application/json", &b)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("frame rejected: %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func postJSON(client *http.Client, url string, v any, wantStatus int) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}

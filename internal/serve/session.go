@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"after/internal/dataset"
+	"after/internal/geom"
+	"after/internal/occlusion"
+	"after/internal/parallel"
+	"after/internal/resilience"
+)
+
+// RoomSpec describes a room to create. Zero fields take defaults: Kind
+// "timik", 40 users, seed 1, horizon 8.
+type RoomSpec struct {
+	// Name is the room identifier; empty auto-assigns "room-<seq>".
+	Name string `json:"name,omitempty"`
+	// Kind is the dataset generator: "timik", "smm", or "hubs".
+	Kind string `json:"kind,omitempty"`
+	// Users is N, the room population.
+	Users int `json:"users,omitempty"`
+	// Seed drives room generation (social graph, interests, utilities).
+	Seed int64 `json:"seed,omitempty"`
+	// VRFraction is the remote-user proportion (default 0.5).
+	VRFraction float64 `json:"vr_fraction,omitempty"`
+	// Horizon is the generator's trajectory length T. The generated
+	// trajectory only seeds the room's utility structure — live serving
+	// positions come from frame ingestion.
+	Horizon int `json:"horizon,omitempty"`
+}
+
+// RoomInfo is the stats view of a live room.
+type RoomInfo struct {
+	ID         string `json:"id"`
+	Users      int    `json:"users"`
+	Frames     int64  `json:"frames"`
+	FrameIndex int64  `json:"frame_index"`
+	Repaired   int64  `json:"frames_repaired"`
+	Served     int64  `json:"served"`
+	Degraded   int64  `json:"degraded"`
+	Sessions   int64  `json:"sessions"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// FrameAck acknowledges one ingested frame.
+type FrameAck struct {
+	Room     string `json:"room"`
+	Index    int    `json:"index"`
+	Applied  bool   `json:"applied"`
+	Repaired bool   `json:"repaired"`
+}
+
+// RecResult is one served recommendation.
+type RecResult struct {
+	Room string `json:"room"`
+	// Target is the user the rendered set is for.
+	Target int `json:"target"`
+	// Step is the frame index the recommendation was computed against.
+	Step int `json:"step"`
+	// Rendered lists the user indices displayed for the target.
+	Rendered []int `json:"rendered"`
+	// ServedBy names the recommender that produced the set ("hold" once a
+	// session's whole fallback chain is exhausted).
+	ServedBy string `json:"served_by"`
+	// Fresh is false when the set came from hold-state degradation (deadline
+	// miss, exhausted retries) rather than a live stepper.
+	Fresh bool `json:"fresh"`
+	// BatchSize is how many requests the serving micro-batch coalesced.
+	BatchSize int `json:"batch_size"`
+	// QueueMs is how long the request waited for its batch, in milliseconds.
+	QueueMs float64 `json:"queue_ms"`
+}
+
+// roomSession is the live state of one room: the generated room structure,
+// the sanitized position snapshot fed by frame ingestion, the per-target
+// stepper guards, and the micro-batcher that serializes stepping.
+type roomSession struct {
+	id   string
+	srv  *Server
+	room *dataset.Room
+
+	// fmu guards the ingestion state below.
+	fmu       sync.Mutex
+	san       *resilience.Sanitizer
+	pos       []geom.Vec2 // latest sanitized snapshot; nil before any frame
+	frameIdx  int         // highest producer-claimed index applied
+	haveFrame atomic.Bool
+
+	// guards holds the per-target stepper sessions. Created and read only by
+	// the batch worker goroutine (creation happens in the sequential prelude
+	// of processBatch, before the parallel fan-out).
+	guards map[int]*resilience.Guard
+
+	bat *batcher
+
+	frames   atomic.Int64
+	repaired atomic.Int64
+	served   atomic.Int64
+	degraded atomic.Int64
+	sessions atomic.Int64
+}
+
+// CreateRoom generates a room from spec and starts its serving session.
+func (s *Server) CreateRoom(spec RoomSpec) (RoomInfo, error) {
+	if s.draining.Load() {
+		obsShedDrain.Inc()
+		return RoomInfo{}, shedErr(http.StatusServiceUnavailable, s.cfg.RetryAfter, "draining")
+	}
+	kind := dataset.Timik
+	switch spec.Kind {
+	case "", "timik":
+	case "smm":
+		kind = dataset.SMM
+	case "hubs":
+		kind = dataset.Hubs
+	default:
+		return RoomInfo{}, &APIError{Status: http.StatusBadRequest, Msg: fmt.Sprintf("unknown kind %q", spec.Kind)}
+	}
+	if spec.Users == 0 {
+		spec.Users = 40
+	}
+	if spec.Users < 2 || spec.Users > s.cfg.MaxRoomUsers {
+		return RoomInfo{}, &APIError{Status: http.StatusBadRequest, Msg: fmt.Sprintf("users must be in [2, %d]", s.cfg.MaxRoomUsers)}
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.Horizon <= 0 {
+		spec.Horizon = 8
+	}
+	// Scale the platform graph with the room so creation stays cheap for
+	// small rooms; the generator needs platform >= room.
+	platform := 10 * spec.Users
+	if platform < 200 {
+		platform = 200
+	}
+	if platform > 3000 {
+		platform = 3000
+	}
+	room, err := dataset.Generate(dataset.Config{
+		Kind:          kind,
+		PlatformUsers: platform,
+		RoomUsers:     spec.Users,
+		T:             spec.Horizon,
+		VRFraction:    spec.VRFraction,
+		Seed:          spec.Seed,
+	})
+	if err != nil {
+		return RoomInfo{}, &APIError{Status: http.StatusBadRequest, Msg: err.Error()}
+	}
+
+	s.mu.Lock()
+	if len(s.rooms) >= s.cfg.MaxRooms {
+		s.mu.Unlock()
+		return RoomInfo{}, shedErr(http.StatusServiceUnavailable, s.cfg.RetryAfter, "room capacity reached")
+	}
+	s.roomSeq++
+	id := spec.Name
+	if id == "" {
+		id = fmt.Sprintf("room-%d", s.roomSeq)
+	}
+	if _, dup := s.rooms[id]; dup {
+		s.mu.Unlock()
+		return RoomInfo{}, &APIError{Status: http.StatusConflict, Msg: fmt.Sprintf("room %q exists", id)}
+	}
+	rs := &roomSession{
+		id:     id,
+		srv:    s,
+		room:   room,
+		san:    resilience.NewSanitizer(room.N),
+		guards: make(map[int]*resilience.Guard),
+	}
+	rs.bat = newBatcher(rs, s.cfg.RoomQueue, s.cfg.MaxBatch, s.cfg.BatchWindow)
+	s.rooms[id] = rs
+	obsRoomsGauge.Set(float64(len(s.rooms)))
+	s.mu.Unlock()
+	return rs.info(), nil
+}
+
+func (s *Server) roomByID(id string) (*roomSession, *APIError) {
+	s.mu.Lock()
+	rs := s.rooms[id]
+	s.mu.Unlock()
+	if rs == nil {
+		return nil, &APIError{Status: http.StatusNotFound, Msg: fmt.Sprintf("room %q not found", id)}
+	}
+	return rs, nil
+}
+
+// Rooms lists the live rooms' stats.
+func (s *Server) Rooms() []RoomInfo {
+	s.mu.Lock()
+	rooms := make([]*roomSession, 0, len(s.rooms))
+	for _, rs := range s.rooms {
+		rooms = append(rooms, rs)
+	}
+	s.mu.Unlock()
+	out := make([]RoomInfo, len(rooms))
+	for i, rs := range rooms {
+		out[i] = rs.info()
+	}
+	return out
+}
+
+// RoomInfo returns one room's stats.
+func (s *Server) RoomInfo(id string) (RoomInfo, error) {
+	rs, aerr := s.roomByID(id)
+	if aerr != nil {
+		return RoomInfo{}, aerr
+	}
+	return rs.info(), nil
+}
+
+func (rs *roomSession) info() RoomInfo {
+	rs.fmu.Lock()
+	idx := rs.frameIdx
+	rs.fmu.Unlock()
+	return RoomInfo{
+		ID:         rs.id,
+		Users:      rs.room.N,
+		Frames:     rs.frames.Load(),
+		FrameIndex: int64(idx),
+		Repaired:   rs.repaired.Load(),
+		Served:     rs.served.Load(),
+		Degraded:   rs.degraded.Load(),
+		Sessions:   rs.sessions.Load(),
+		QueueDepth: len(rs.bat.queue),
+	}
+}
+
+// IngestFrame applies one raw position frame to the room: the sanitizer
+// repairs NaN/short/over-long payloads into a full-length finite snapshot,
+// and stale indices (duplicates, reordered arrivals) are dropped so serving
+// state never regresses. Returns whether the frame was applied.
+func (s *Server) IngestFrame(roomID string, index int, raw []geom.Vec2) (FrameAck, error) {
+	if s.draining.Load() {
+		obsShedDrain.Inc()
+		return FrameAck{}, shedErr(http.StatusServiceUnavailable, s.cfg.RetryAfter, "draining")
+	}
+	rs, aerr := s.roomByID(roomID)
+	if aerr != nil {
+		return FrameAck{}, aerr
+	}
+	ack := FrameAck{Room: roomID, Index: index}
+	rs.fmu.Lock()
+	if rs.pos != nil && index <= rs.frameIdx {
+		rs.fmu.Unlock()
+		obsFramesStale.Inc()
+		return ack, nil // acknowledged, not applied
+	}
+	pos, repaired := rs.san.Sanitize(raw)
+	rs.pos = pos
+	rs.frameIdx = index
+	rs.haveFrame.Store(true)
+	rs.fmu.Unlock()
+
+	ack.Applied = true
+	ack.Repaired = repaired
+	rs.frames.Add(1)
+	obsFrames.Inc()
+	if repaired {
+		rs.repaired.Add(1)
+		obsFramesRep.Inc()
+	}
+	return ack, nil
+}
+
+// Recommend runs one recommendation request through admission control and
+// the room's micro-batcher, blocking until the batch worker responds or ctx
+// is done. deadline <= 0 takes the server default; values above MaxDeadline
+// are clamped.
+func (s *Server) Recommend(ctx context.Context, roomID string, target int, deadline time.Duration) (RecResult, error) {
+	start := time.Now()
+	if s.draining.Load() {
+		obsShedDrain.Inc()
+		return RecResult{}, shedErr(http.StatusServiceUnavailable, s.cfg.RetryAfter, "draining")
+	}
+	rs, aerr := s.roomByID(roomID)
+	if aerr != nil {
+		return RecResult{}, aerr
+	}
+	if target < 0 || target >= rs.room.N {
+		return RecResult{}, &APIError{Status: http.StatusBadRequest, Msg: fmt.Sprintf("target %d out of range [0, %d)", target, rs.room.N)}
+	}
+	if !rs.haveFrame.Load() {
+		return RecResult{}, &APIError{Status: http.StatusConflict, Msg: "room has no frames yet; POST positions first"}
+	}
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+
+	// Admission: global bound first (503 — the process is overloaded), then
+	// the room queue (429 — this room is hot; the client should back off).
+	if int(s.queued.Load()) >= s.cfg.GlobalQueue {
+		obsShedGlobal.Inc()
+		return RecResult{}, shedErr(http.StatusServiceUnavailable, s.cfg.RetryAfter, "global queue full")
+	}
+	p := &pending{
+		target:   target,
+		deadline: start.Add(deadline),
+		enq:      start,
+		resc:     make(chan outcome, 1),
+	}
+	s.queued.Add(1)
+	obsQueueGauge.Set(float64(s.queued.Load()))
+	if !rs.bat.enqueue(p) {
+		s.queued.Add(-1)
+		if s.draining.Load() {
+			obsShedDrain.Inc()
+			return RecResult{}, shedErr(http.StatusServiceUnavailable, s.cfg.RetryAfter, "draining")
+		}
+		obsShedRoom.Inc()
+		return RecResult{}, shedErr(http.StatusTooManyRequests, s.cfg.RetryAfter, "room queue full")
+	}
+
+	select {
+	case out := <-p.resc:
+		if out.err != nil {
+			return RecResult{}, out.err
+		}
+		obsE2E.Observe(time.Since(start))
+		return out.rec, nil
+	case <-ctx.Done():
+		// The caller vanished; the batch worker will still process p and
+		// drop the outcome into the buffered channel.
+		return RecResult{}, &APIError{Status: http.StatusServiceUnavailable, Msg: "client cancelled"}
+	}
+}
+
+// processBatch serves one coalesced batch: shed requests that expired in the
+// queue, group the rest by target, step each distinct target once through
+// its resilience.Guard with the group's tightest remaining budget, and
+// respond to every member as soon as its target's step completes (not after
+// the whole batch, so one straggling target cannot blow another member's
+// deadline).
+//
+// Batching preserves per-request semantics exactly: each target's guard
+// steps once per batch it appears in, in queue order, and distinct targets
+// are independent sessions — so the fused pass is bit-identical to stepping
+// the same requests one at a time (tested in batcher_test.go).
+func (rs *roomSession) processBatch(batch []*pending) {
+	obsBatches.Inc()
+	obsBatchedReqs.Add(int64(len(batch)))
+	now := time.Now()
+
+	rs.fmu.Lock()
+	pos := rs.pos
+	step := rs.frameIdx
+	rs.fmu.Unlock()
+
+	// Shed members whose whole budget burned in the queue: an honest 503
+	// now beats a result the client has already abandoned.
+	live := make([]*pending, 0, len(batch))
+	for _, p := range batch {
+		obsQueueWait.Observe(now.Sub(p.enq))
+		if !p.deadline.IsZero() && !now.Before(p.deadline) {
+			obsExpired.Inc()
+			p.resc <- outcome{err: shedErr(http.StatusServiceUnavailable, rs.srv.cfg.RetryAfter, "deadline expired in queue")}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if pos == nil {
+		// Room existed but lost its frame state — cannot happen today
+		// (haveFrame gates admission), kept as a defensive response.
+		for _, p := range live {
+			p.resc <- outcome{err: &APIError{Status: http.StatusConflict, Msg: "room has no frames"}}
+		}
+		return
+	}
+
+	// Group by target, preserving first-appearance order; each group steps
+	// once under the tightest member deadline.
+	order := make([]int, 0, len(live))
+	groups := make(map[int][]*pending, len(live))
+	for _, p := range live {
+		if _, seen := groups[p.target]; !seen {
+			order = append(order, p.target)
+		}
+		groups[p.target] = append(groups[p.target], p)
+	}
+	// Create missing guards sequentially: the guards map is single-writer
+	// (this worker goroutine) and must not be touched inside the fan-out.
+	gs := make([]*resilience.Guard, len(order))
+	for i, target := range order {
+		g := rs.guards[target]
+		if g == nil {
+			g = resilience.NewGuard(rs.srv.cfg.Primary, rs.room, target, rs.srv.cfg.guardConfig())
+			rs.guards[target] = g
+			rs.sessions.Add(1)
+		}
+		gs[i] = g
+	}
+
+	batchSize := len(batch)
+	parallel.ForEach(len(order), func(i int) {
+		target := order[i]
+		group := groups[target]
+		// The group's effective budget is its tightest member's remaining
+		// time; zero deadlines (unbounded) only occur all-together.
+		var budget time.Duration
+		for _, p := range group {
+			if p.deadline.IsZero() {
+				continue
+			}
+			rem := p.deadline.Sub(now)
+			if budget == 0 || rem < budget {
+				budget = rem
+			}
+		}
+		stepStart := time.Now()
+		frame := occlusion.BuildStatic(target, pos, rs.room.AvatarRadius)
+		rendered, fresh := gs[i].Step(step, frame, budget)
+		obsStepLat.Observe(time.Since(stepStart))
+
+		shown := make([]int, 0, len(rendered))
+		for w, on := range rendered {
+			if on {
+				shown = append(shown, w)
+			}
+		}
+		servedBy := gs[i].ServedBy()
+		rs.served.Add(int64(len(group)))
+		obsAccepted.Add(int64(len(group)))
+		if !fresh {
+			rs.degraded.Add(int64(len(group)))
+			obsDegraded.Add(int64(len(group)))
+		}
+		if servedBy != rs.srv.cfg.Primary.Name() {
+			obsFallback.Add(int64(len(group)))
+		}
+		for _, p := range group {
+			p.resc <- outcome{rec: RecResult{
+				Room:      rs.id,
+				Target:    target,
+				Step:      step,
+				Rendered:  shown,
+				ServedBy:  servedBy,
+				Fresh:     fresh,
+				BatchSize: batchSize,
+				QueueMs:   float64(now.Sub(p.enq)) / float64(time.Millisecond),
+			}}
+		}
+	})
+}

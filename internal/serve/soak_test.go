@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOverloadSoak floods a deliberately tiny server (one slow worker, short
+// queues) far past its capacity over real HTTP and asserts the contract the
+// daemon makes under overload:
+//
+//   - load is shed explicitly — 429 (room queue) / 503 (global queue or
+//     expired in queue) — and every shed response carries Retry-After;
+//   - accepted requests complete within the deadline via degradation (the
+//     resilience chain serves stale/fallback sets) instead of timing out —
+//     structurally: every accepted response arrives, none outlives the
+//     deadline-plus-grace budget by more than scheduling slack;
+//   - after a graceful drain the process leaks no goroutines.
+//
+// The test uses only the standard library (net/http, sync, testing).
+func TestOverloadSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	baseline := runtime.NumGoroutine()
+
+	const deadline = 40 * time.Millisecond
+	s := New(Config{
+		// Each step burns ~4ms, so one worker caps out around 250 steps/s;
+		// the flood below offers far more.
+		Primary:         testRec{name: "slow", delay: 4 * time.Millisecond},
+		Concurrency:     1,
+		MaxBatch:        4,
+		BatchWindow:     time.Millisecond,
+		RoomQueue:       8,
+		GlobalQueue:     16,
+		DefaultDeadline: deadline,
+		RetryAfter:      time.Second,
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	mustCreate(t, s, RoomSpec{Name: "hot", Users: 10, Seed: 5})
+	mustFrame(t, s, "hot", 0, framePos(10, 0))
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var (
+		accepted, shed429, shed503 atomic.Int64
+		missingRetryAfter          atomic.Int64
+		otherStatus                atomic.Int64
+		overBudget                 atomic.Int64
+		slowest                    atomic.Int64
+	)
+	// The guard may legitimately run to the deadline and then wait out the
+	// straggler grace (default 1.5×deadline absolute); beyond that plus
+	// batching window and scheduling slack, an accepted response is late.
+	budget := s.Config().AbandonAfter + s.Config().BatchWindow + 500*time.Millisecond
+
+	const floodWorkers = 24
+	const perWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < floodWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				body := fmt.Sprintf(`{"target":%d}`, (w+i)%10)
+				start := time.Now()
+				resp, err := client.Post(base+"/v1/rooms/hot/recommend", "application/json", bytes.NewBufferString(body))
+				if err != nil {
+					otherStatus.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				e2e := time.Since(start)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					accepted.Add(1)
+					if e2e > budget {
+						overBudget.Add(1)
+					}
+					for {
+						old := slowest.Load()
+						if int64(e2e) <= old || slowest.CompareAndSwap(old, int64(e2e)) {
+							break
+						}
+					}
+				case http.StatusTooManyRequests:
+					shed429.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						missingRetryAfter.Add(1)
+					}
+				case http.StatusServiceUnavailable:
+					shed503.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						missingRetryAfter.Add(1)
+					}
+				default:
+					otherStatus.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(floodWorkers * perWorker)
+	t.Logf("soak: %d sent, %d accepted, %d shed(429), %d shed(503), slowest accepted %v",
+		total, accepted.Load(), shed429.Load(), shed503.Load(), time.Duration(slowest.Load()))
+
+	if accepted.Load() == 0 {
+		t.Fatal("overload shed everything — admission control must still serve at capacity")
+	}
+	if shed429.Load()+shed503.Load() == 0 {
+		t.Fatal("a 6x-capacity flood produced zero sheds — queues are not bounding")
+	}
+	if n := missingRetryAfter.Load(); n != 0 {
+		t.Fatalf("%d shed responses missing Retry-After", n)
+	}
+	if n := otherStatus.Load(); n != 0 {
+		t.Fatalf("%d responses with unexpected status or transport error", n)
+	}
+	if n := overBudget.Load(); n != 0 {
+		t.Fatalf("%d accepted responses exceeded deadline+grace budget %v (slowest %v) — accepted work must degrade within budget, not time out",
+			n, budget, time.Duration(slowest.Load()))
+	}
+
+	// Graceful drain, then the goroutine census must return to baseline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	client.CloseIdleConnections()
+	deadlineAt := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadlineAt) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after drain: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
