@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"after"
+	"after/internal/core"
 	"after/internal/exp"
 	"after/internal/geom"
 	"after/internal/mwis"
@@ -191,6 +192,87 @@ func BenchmarkSpMM(b *testing.B) {
 			tensor.MatMulInto(out, dense, h)
 		}
 	})
+}
+
+// BenchmarkSpMMWide measures the multi-column SpMM the batched forward pass
+// rides: 16 per-target occlusion CSRs aggregated in one call over a wide
+// feature matrix (one 4-column block per target), float64 versus the float32
+// fast path, at the converter stress size N=500.
+func BenchmarkSpMMWide(b *testing.B) {
+	const n, k, d = 500, 16, 4
+	rng := rand.New(rand.NewSource(7))
+	positions := make([]geom.Vec2, n)
+	side := 2 * 22.4 // ~constant density at n=500
+	for i := range positions {
+		positions[i] = geom.Vec2{X: rng.Float64() * side, Z: rng.Float64() * side}
+	}
+	graphs := make([]*tensor.CSR, k)
+	edges := 0
+	for i := range graphs {
+		g := occlusion.BuildStatic(i*n/k, positions, occlusion.DefaultAvatarRadius)
+		graphs[i] = g.AdjacencyCSR()
+		edges += g.EdgeCount()
+	}
+	x := tensor.GlorotUniform(rng, n, k*d)
+	b.Logf("n=%d targets=%d block=%d mean-edges=%d", n, k, d, edges/k)
+	b.Run("f64", func(b *testing.B) {
+		out := tensor.NewMatrix(n, k*d)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.SpMMBatchInto(out, graphs, x)
+		}
+	})
+	b.Run("f32", func(b *testing.B) {
+		x32 := tensor.ToMatrix32(x)
+		out := tensor.NewMatrix32(n, k*d)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.SpMMBatchInto32(out, graphs, x32)
+		}
+	})
+}
+
+// BenchmarkBatchedStep measures one fused StepTargets frame — a full serve
+// coalesce of 16 targets sharing one per-room forward pass — at the paper's
+// room size, on the float64 oracle path and the float32 fast path. Allocs are
+// reported because the pooled scratch (tensor.Workspace) is what keeps the
+// steady state flat; the hard bound lives in core's TestBatchStepAllocs.
+func BenchmarkBatchedStep(b *testing.B) {
+	room, err := paperRoom()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 16
+	targets := make([]int, k)
+	frames := make([]*occlusion.StaticGraph, k)
+	dogs := make([]*occlusion.DOG, k)
+	for i := range targets {
+		targets[i] = i * room.N / k
+		dogs[i] = occlusion.BuildDOG(targets[i], room.Traj, room.AvatarRadius)
+		for _, f := range dogs[i].Frames {
+			f.AdjacencyCSR() // pre-materialize so the bench times pure stepping
+		}
+	}
+	model := after.NewPOSHGNN(after.DefaultModelConfig())
+	for _, f32 := range []bool{false, true} {
+		name := "f64"
+		if f32 {
+			name = "f32"
+		}
+		b.Run(name, func(b *testing.B) {
+			sess := model.StartBatchSession(room, core.BatchOptions{Float32: f32})
+			steps := len(dogs[0].Frames)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := i % steps
+				for j := range dogs {
+					frames[j] = dogs[j].Frames[t]
+				}
+				sess.StepTargets(t, targets, frames)
+			}
+		})
+	}
 }
 
 // BenchmarkCOMURNetStep measures one constrained-search step at N=200: the

@@ -55,6 +55,7 @@ func realMain() int {
 		concurrency = flag.Int("concurrency", 0, "concurrent batch-processing slots (0 = worker-pool width)")
 		workers     = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		chaosRate   = flag.Float64("chaos-rate", 0, "wrap the primary in the fault injector at this rate (staging)")
+		f32         = flag.Bool("f32", false, "serve the poshgnn primary on the float32 inference fast path (training stays float64)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
 		snapshotDir = flag.String("snapshot-dir", ".", "directory for drain-time OBS_serve.json / QUALITY_serve.json ('' disables)")
 		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "bound on the SIGTERM drain (flush + teardown)")
@@ -70,9 +71,15 @@ func realMain() int {
 	case "nearest":
 		rec = baselines.Nearest{}
 	case "poshgnn":
-		fmt.Printf("afterd: training poshgnn primary (scale %.2f, quick=%v)...\n", *trainScale, *quick)
+		fmt.Printf("afterd: training poshgnn primary (scale %.2f, quick=%v, f32=%v)...\n", *trainScale, *quick, *f32)
 		start := time.Now()
-		trained, err := exp.ServePrimary(exp.Options{Scale: *trainScale, Quick: *quick, Seed: *seed})
+		train := exp.ServePrimary
+		if *f32 {
+			// Training is float64 either way; -f32 only switches the served
+			// inference path to the single-precision kernels.
+			train = exp.ServePrimaryF32
+		}
+		trained, err := train(exp.Options{Scale: *trainScale, Quick: *quick, Seed: *seed})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "afterd: training: %v\n", err)
 			return 1

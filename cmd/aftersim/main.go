@@ -390,8 +390,9 @@ func runBench(o exp.Options) (string, error) {
 		return "", fmt.Errorf("bench compare: %w", err)
 	}
 	regs := exp.CompareSteppers(base, r, 0.25)
+	regs = append(regs, exp.CompareBatched(base, r, 0.25)...)
 	if len(regs) == 0 {
-		return out + "\nbench compare: no per-step latency regressions vs baseline", nil
+		return out + "\nbench compare: no per-step latency regressions vs baseline (batched table included)", nil
 	}
 	msg := "bench compare: per-step latency regressions vs BENCH_baseline.json:\n  " +
 		strings.Join(regs, "\n  ")

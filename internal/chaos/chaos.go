@@ -186,9 +186,17 @@ type faultyRecommender struct {
 
 // WrapRecommender wraps inner so each episode's stepper panics with
 // probability PanicRate and stalls LatencySpike with probability
-// LatencyRate, per Step call, deterministically per (seed, target).
+// LatencyRate, per Step call, deterministically per (seed, target). A
+// batch-capable inner recommender stays batch-capable: the wrapper then
+// also implements sim.BatchRecommender, injecting the same fault process at
+// fused-pass granularity, so the serving layer's batched path is exercised
+// under chaos rather than silently disabled by the wrapping.
 func WrapRecommender(inner sim.Recommender, cfg Config) sim.Recommender {
-	return &faultyRecommender{inner: inner, cfg: cfg}
+	f := faultyRecommender{inner: inner, cfg: cfg}
+	if _, ok := inner.(sim.BatchRecommender); ok {
+		return &faultyBatchRecommender{f}
+	}
+	return &f
 }
 
 // Name implements sim.Recommender.
@@ -219,6 +227,45 @@ func (s *faultyStepper) Step(t int, frame *occlusion.StaticGraph) []bool {
 		panic("chaos: injected stepper panic")
 	}
 	return s.inner.Step(t, frame)
+}
+
+// faultyBatchRecommender is the batch-capable variant of faultyRecommender,
+// returned by WrapRecommender when the inner recommender implements
+// sim.BatchRecommender. Per-episode steppers keep their per-target fault
+// streams; the shared batch session gets its own stream (sub-seed -1) and
+// rolls each fault once per fused StepTargets call — a panic there takes
+// down the whole fused pass, which is exactly the failure the serving
+// layer's solo-fallback logic must absorb.
+type faultyBatchRecommender struct {
+	faultyRecommender
+}
+
+// StartBatch implements sim.BatchRecommender.
+func (f *faultyBatchRecommender) StartBatch(room *dataset.Room) sim.BatchStepper {
+	return &faultyBatchStepper{
+		inner: f.inner.(sim.BatchRecommender).StartBatch(room),
+		cfg:   f.cfg,
+		rng:   rand.New(rand.NewSource(f.cfg.subSeed(-1) ^ 0x5ca1ab1e)),
+	}
+}
+
+// faultyBatchStepper injects one fault roll per fused pass.
+type faultyBatchStepper struct {
+	inner sim.BatchStepper
+	cfg   Config
+	rng   *rand.Rand
+}
+
+// StepTargets implements sim.BatchStepper, possibly stalling or panicking
+// before delegating the whole fused pass.
+func (s *faultyBatchStepper) StepTargets(t int, targets []int, frames []*occlusion.StaticGraph) [][]bool {
+	if roll(s.rng, s.cfg.LatencyRate) {
+		time.Sleep(s.cfg.latencySpike())
+	}
+	if roll(s.rng, s.cfg.PanicRate) {
+		panic("chaos: injected batch stepper panic")
+	}
+	return s.inner.StepTargets(t, targets, frames)
 }
 
 func roll(rng *rand.Rand, p float64) bool {

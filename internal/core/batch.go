@@ -1,0 +1,736 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"after/internal/dataset"
+	"after/internal/obs"
+	"after/internal/occlusion"
+	"after/internal/tensor"
+)
+
+// BatchOptions configures a batched inference session.
+type BatchOptions struct {
+	// Float32 routes the forward pass through the float32 kernels: weights
+	// are rounded once at session start and all activations accumulate in
+	// single precision. Serving-only fast path — decoded sets can differ
+	// from the float64 oracle near the decision threshold, so training,
+	// evaluation tables, and the CI utility gate never enable it. The
+	// utility deviation is bounded by the batch property tests and
+	// documented in EXPERIMENTS.md.
+	Float32 bool
+}
+
+// batchState is one target's recurrent state inside a BatchSession — the
+// batched counterpart of Session's prevFrame/prevR/prevH, stored as raw
+// slices (float32 ones when the session runs the fast path) because the
+// batched forward never touches the autodiff tape.
+type batchState struct {
+	prevFrame *occlusion.StaticGraph
+	prevR     []float64
+	prevH     []float64
+	prevR32   []float32
+	prevH32   []float32
+	seq       *Session // dense-adjacency compat fallback, lazily created
+
+	// Degree caches for the Δ features: deg/two hold |N(w)| and
+	// Σ_{u∈N(w)}|N(u)| of degFrame, degPrev/twoPrev the same for
+	// degPrevFrame. All values are exact small integers in float64, so
+	// caching them across steps changes no bits — it only spares the
+	// previous frame's recomputation every step.
+	deg, two               []float64
+	degPrev, twoPrev       []float64
+	degFrame, degPrevFrame *occlusion.StaticGraph
+}
+
+// weights32 holds the one-time float32 copies of the model parameters used
+// by the fast path.
+type weights32 struct {
+	pdr1M1, pdr1M2 *tensor.Matrix32
+	pdr2M1, pdr2M2 *tensor.Matrix32
+	lwp1M1, lwp1M2 *tensor.Matrix32
+	lwp2M1, lwp2M2 *tensor.Matrix32
+	lwp3M1, lwp3M2 *tensor.Matrix32
+}
+
+// BatchSession runs POSHGNN inference for many targets of one room in a
+// single fused forward pass per step. The K targets' feature matrices are
+// stacked target-major into one N×(K·d) batch, every graph convolution runs
+// as one multi-column SpMM + blocked projection (tensor.SpMMBatchInto /
+// MatMulBlocksInto), and all intermediate activations live in pooled
+// scratch — no autodiff tape is built, which is where most of the per-step
+// time and allocation of the sequential Session goes at serving time.
+//
+// The float64 path is bit-identical to stepping each target through its own
+// Session (per column block every kernel replicates the sequential
+// accumulation order; pinned by TestBatchStepMatchesSequential). Targets may
+// join at any step — state is tracked per target and missing targets simply
+// keep their previous state — so the serving micro-batcher can drive one
+// BatchSession per room with whatever subset of targets each batch holds.
+//
+// A BatchSession is safe for concurrent StepTargets calls (an internal
+// mutex serializes them), but per target the usual temporal contract holds:
+// feed each target's frames in order.
+type BatchSession struct {
+	model *POSHGNN
+	room  *dataset.Room
+	opt   BatchOptions
+
+	// iface is the interface-flag feature column (1 for MR users), computed
+	// once per session: it is target- and frame-independent.
+	iface []float64
+
+	mu     sync.Mutex
+	states map[int]*batchState
+	adjs   []*tensor.CSR // reused per-step graph list (len = batch K)
+	w32    *weights32    // nil until the Float32 path first runs
+}
+
+// StartBatchSession begins batched inference over room. Every target of the
+// room may be stepped through the returned session; per-target recurrent
+// state is created on first use.
+func (m *POSHGNN) StartBatchSession(room *dataset.Room, opt BatchOptions) *BatchSession {
+	b := &BatchSession{
+		model:  m,
+		room:   room,
+		opt:    opt,
+		iface:  make([]float64, room.N),
+		states: make(map[int]*batchState),
+	}
+	for w, ifc := range room.Interfaces {
+		if ifc == occlusion.MR {
+			b.iface[w] = 1
+		}
+	}
+	if opt.Float32 {
+		b.w32 = m.convertWeights32()
+	}
+	return b
+}
+
+func (m *POSHGNN) convertWeights32() *weights32 {
+	w := &weights32{
+		pdr1M1: tensor.ToMatrix32(m.pdr1.M1.Value), pdr1M2: tensor.ToMatrix32(m.pdr1.M2.Value),
+		pdr2M1: tensor.ToMatrix32(m.pdr2.M1.Value), pdr2M2: tensor.ToMatrix32(m.pdr2.M2.Value),
+	}
+	if m.cfg.UseLWP {
+		w.lwp1M1, w.lwp1M2 = tensor.ToMatrix32(m.lwp1.M1.Value), tensor.ToMatrix32(m.lwp1.M2.Value)
+		w.lwp2M1, w.lwp2M2 = tensor.ToMatrix32(m.lwp2.M1.Value), tensor.ToMatrix32(m.lwp2.M2.Value)
+		w.lwp3M1, w.lwp3M2 = tensor.ToMatrix32(m.lwp3.M1.Value), tensor.ToMatrix32(m.lwp3.M2.Value)
+	}
+	return w
+}
+
+// state returns (creating if needed) the recurrent state of one target.
+func (b *BatchSession) state(target int) *batchState {
+	st := b.states[target]
+	if st == nil {
+		st = &batchState{}
+		if b.opt.Float32 {
+			st.prevR32 = make([]float32, b.room.N)
+			st.prevH32 = make([]float32, b.room.N*b.model.cfg.Hidden)
+		} else {
+			st.prevR = make([]float64, b.room.N)
+			st.prevH = make([]float64, b.room.N*b.model.cfg.Hidden)
+		}
+		b.states[target] = st
+	}
+	return st
+}
+
+// StepTargets advances every listed target by one step in a single fused
+// forward pass and returns each target's rendered set, index-aligned with
+// targets. frames[k] must be target k's occlusion frame for step t (its
+// Target field set accordingly). Targets should be distinct — duplicates are
+// harmless (identical columns) but advance the shared state once per copy.
+func (b *BatchSession) StepTargets(t int, targets []int, frames []*occlusion.StaticGraph) [][]bool {
+	if len(targets) == 0 || len(targets) != len(frames) {
+		panic(fmt.Sprintf("core: StepTargets %d targets, %d frames", len(targets), len(frames)))
+	}
+	for _, target := range targets {
+		if target < 0 || target >= b.room.N {
+			panic(fmt.Sprintf("core: target %d out of range", target))
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.model.denseAdj {
+		// Dense-adjacency compat: the bench/test knob has no batched kernel,
+		// so fall back to per-target sequential Sessions. Also serves as the
+		// reference implementation of the batched contract.
+		out := make([][]bool, len(targets))
+		for k, target := range targets {
+			st := b.state(target)
+			if st.seq == nil {
+				st.seq = b.model.StartEpisode(b.room, target)
+			}
+			out[k] = st.seq.Step(t, frames[k])
+		}
+		return out
+	}
+	if b.opt.Float32 {
+		return b.step32(t, targets, frames)
+	}
+	return b.step64(t, targets, frames)
+}
+
+// elementwise activation selectors for the fused conv epilogues.
+const (
+	actReLU = iota
+	actSigmoid
+)
+
+// convWide runs one graph convolution over the whole batch:
+// dst = act(in·M1 + (A_k·in)·M2 per column block k). The additive order —
+// the dense term fully materialized first, the aggregated term second, then
+// a single elementwise add — replicates GraphConv.ForwardSparse exactly, so
+// every column stays bit-identical to the sequential path.
+func convWide(dst, in *tensor.Matrix, adjs []*tensor.CSR, m1, m2 *tensor.Matrix, act int) {
+	ws := tensor.Scratch()
+	k := len(adjs)
+	tensor.MatMulBlocksInto(dst, in, m1, k)
+	msg := ws.Get(in.Rows, in.Cols)
+	tensor.SpMMBatchInto(msg, adjs, in)
+	agg := ws.Get(dst.Rows, dst.Cols)
+	tensor.MatMulBlocksInto(agg, msg, m2, k)
+	ws.Put(msg)
+	switch act {
+	case actReLU:
+		tensor.AddReLUInto(dst.Data, agg.Data)
+	case actSigmoid:
+		for i, v := range agg.Data {
+			dst.Data[i] = 1 / (1 + math.Exp(-(dst.Data[i] + v)))
+		}
+	}
+	ws.Put(agg)
+}
+
+// step64 is the bit-exact float64 batched forward pass.
+func (b *BatchSession) step64(t int, targets []int, frames []*occlusion.StaticGraph) [][]bool {
+	m, room := b.model, b.room
+	n, bk, hid := room.N, len(targets), m.cfg.Hidden
+	useLWP := m.cfg.UseLWP
+	ws := tensor.Scratch()
+
+	spMIA := obs.Begin("mia")
+	if cap(b.adjs) < bk {
+		b.adjs = make([]*tensor.CSR, bk)
+	}
+	adjs := b.adjs[:bk]
+	x := ws.Get(n, bk*featureDim)
+	mask := ws.Get(n, bk)
+	prevR := ws.Get(n, bk)
+	var delta, prevH *tensor.Matrix
+	if useLWP {
+		delta = ws.Get(n, bk*deltaDim)
+		prevH = ws.Get(n, bk*hid)
+	}
+	for k, target := range targets {
+		st := b.state(target)
+		b.fillColumns(k, bk, frames[k], st, x, mask, prevR, delta, prevH)
+		adjs[k] = frames[k].AdjacencyCSR()
+	}
+	spMIA.End()
+
+	spPDR := obs.Begin("pdr")
+	h := ws.Get(n, bk*hid)
+	convWide(h, x, adjs, m.pdr1.M1.Value, m.pdr1.M2.Value, actReLU)
+	rt := ws.Get(n, bk)
+	convWide(rt, h, adjs, m.pdr2.M1.Value, m.pdr2.M2.Value, actSigmoid)
+	spPDR.End()
+
+	r := ws.Get(n, bk)
+	if !useLWP {
+		for i, mv := range mask.Data {
+			r.Data[i] = mv * rt.Data[i]
+		}
+	} else {
+		spLWP := obs.Begin("lwp")
+		lwpWidth := featureDim + deltaDim + hid + 1
+		lwpIn := ws.Get(n, bk*lwpWidth)
+		// Assemble [x̂ ‖ Δ ‖ h_{t-1} ‖ r_{t-1}] per column block — the wide
+		// layout of tensor.Concat's column order.
+		for i := 0; i < n; i++ {
+			row := lwpIn.Data[i*lwpIn.Cols : (i+1)*lwpIn.Cols]
+			for k := 0; k < bk; k++ {
+				o := k * lwpWidth
+				copy(row[o:o+featureDim], x.Data[i*x.Cols+k*featureDim:i*x.Cols+(k+1)*featureDim])
+				copy(row[o+featureDim:o+featureDim+deltaDim], delta.Data[i*delta.Cols+k*deltaDim:i*delta.Cols+(k+1)*deltaDim])
+				copy(row[o+featureDim+deltaDim:o+featureDim+deltaDim+hid], prevH.Data[i*prevH.Cols+k*hid:i*prevH.Cols+(k+1)*hid])
+				row[o+lwpWidth-1] = prevR.Data[i*bk+k]
+			}
+		}
+		z1 := ws.Get(n, bk*hid)
+		convWide(z1, lwpIn, adjs, m.lwp1.M1.Value, m.lwp1.M2.Value, actReLU)
+		z2 := ws.Get(n, bk*hid)
+		convWide(z2, z1, adjs, m.lwp2.M1.Value, m.lwp2.M2.Value, actReLU)
+		sigma := ws.Get(n, bk)
+		convWide(sigma, z2, adjs, m.lwp3.M1.Value, m.lwp3.M2.Value, actSigmoid)
+		// Preservation gate, in the sequential scalar order:
+		// r = m ⊗ [(1−σ)⊗r̃ + σ⊗r_{t−1}].
+		for i, mv := range mask.Data {
+			s := sigma.Data[i]
+			r.Data[i] = mv * ((1-s)*rt.Data[i] + s*prevR.Data[i])
+		}
+		ws.Put(lwpIn)
+		ws.Put(z1)
+		ws.Put(z2)
+		ws.Put(sigma)
+		spLWP.End()
+	}
+
+	// Scatter recurrent state back and decode each target's column.
+	spDecode := obs.Begin("decode")
+	out := make([][]bool, bk)
+	col := ws.Get(n, 1)
+	for k, target := range targets {
+		st := b.state(target)
+		st.prevFrame = frames[k]
+		for w := 0; w < n; w++ {
+			st.prevR[w] = r.Data[w*bk+k]
+			col.Data[w] = r.Data[w*bk+k]
+			copy(st.prevH[w*hid:(w+1)*hid], h.Data[w*h.Cols+k*hid:w*h.Cols+(k+1)*hid])
+		}
+		out[k] = b.decode(col, frames[k], target)
+	}
+	ws.Put(col)
+	spDecode.End()
+
+	ws.Put(x)
+	ws.Put(mask)
+	ws.Put(prevR)
+	if useLWP {
+		ws.Put(delta)
+		ws.Put(prevH)
+	}
+	ws.Put(h)
+	ws.Put(rt)
+	ws.Put(r)
+	_ = t
+	return out
+}
+
+// fillColumns writes one target's features into column block k of the wide
+// matrices, replicating MIA.Aggregate (and fillDelta, via fillDeltaColumn)
+// value for value: the target row is all-zero with mask 0, distance is
+// scaled by the room diagonal, the physical mask prunes MR-occluded users
+// for an MR target, and the blocklist zeroes its entries.
+func (b *BatchSession) fillColumns(k, bk int, frame *occlusion.StaticGraph, st *batchState, x, mask, prevR, delta, prevH *tensor.Matrix) {
+	room, mia := b.room, &b.model.mia
+	n := room.N
+	target := frame.Target
+	roomDiag := math.Sqrt2 * 10
+	targetMR := mia.Enabled && room.Interfaces[target] == occlusion.MR
+	hid := b.model.cfg.Hidden
+	for w := 0; w < n; w++ {
+		xo := w*x.Cols + k*featureDim
+		if w == target {
+			x.Data[xo], x.Data[xo+1], x.Data[xo+2], x.Data[xo+3] = 0, 0, 0, 0
+			mask.Data[w*bk+k] = 0
+		} else {
+			p := room.Pref(target, w)
+			s := room.Social(target, w)
+			x.Data[xo] = p
+			x.Data[xo+1] = s
+			x.Data[xo+2] = math.Min(1, frame.Dist[w]/roomDiag)
+			x.Data[xo+3] = b.iface[w]
+			mk := 1.0
+			if targetMR {
+				// Inlined occlusion.PhysicalMask: an MR target loses sight of
+				// any user occluded by another physically present MR user.
+				for _, u := range frame.Neighbors(w) {
+					if int(u) != target && room.Interfaces[u] == occlusion.MR {
+						mk = 0
+						break
+					}
+				}
+			}
+			if mia.Blocklist != nil && mia.Blocklist[w] {
+				mk = 0
+			}
+			mask.Data[w*bk+k] = mk
+		}
+		if prevR != nil {
+			if st.prevR != nil {
+				prevR.Data[w*bk+k] = st.prevR[w]
+			} else {
+				prevR.Data[w*bk+k] = 0
+			}
+		}
+	}
+	if delta != nil {
+		b.fillDeltaColumn(delta, k, bk, frame, st)
+	}
+	if prevH != nil {
+		for w := 0; w < n; w++ {
+			dst := prevH.Data[w*prevH.Cols+k*hid : w*prevH.Cols+(k+1)*hid]
+			if st.prevH != nil {
+				copy(dst, st.prevH[w*hid:(w+1)*hid])
+			} else {
+				for j := range dst {
+					dst[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// degTwoInto fills deg[w] = |N(w)| and two[w] = Σ_{u∈N(w)} |N(u)| for frame,
+// straight off the CSR arrays (no per-neighbor method calls). Both are exact
+// small integers in float64, so the sums match fillDelta's Neighbors-based
+// computation bit for bit regardless of iteration order.
+func degTwoInto(frame *occlusion.StaticGraph, deg, two []float64) {
+	csr := frame.AdjacencyCSR()
+	for w := range deg {
+		deg[w] = float64(csr.RowPtr[w+1] - csr.RowPtr[w])
+	}
+	for w := range two {
+		var s float64
+		for _, u := range csr.Col[csr.RowPtr[w]:csr.RowPtr[w+1]] {
+			s += deg[u]
+		}
+		two[w] = s
+	}
+}
+
+// deltaDegrees returns the degree sums of frame and of the target's previous
+// frame, serving the previous step's sums from the state cache (each frame's
+// sums are computed once, when it is current). The returned slices alias the
+// cache and are valid until the target's next step. Duplicate columns for the
+// same target within one batch see identical sums.
+func (b *BatchSession) deltaDegrees(st *batchState, frame *occlusion.StaticGraph) (deg, two, degPrev, twoPrev []float64) {
+	n := b.room.N
+	if st.deg == nil {
+		st.deg, st.two = make([]float64, n), make([]float64, n)
+		st.degPrev, st.twoPrev = make([]float64, n), make([]float64, n)
+	}
+	if st.degFrame == frame && st.degPrevFrame == st.prevFrame {
+		return st.deg, st.two, st.degPrev, st.twoPrev
+	}
+	switch {
+	case st.prevFrame != nil && st.degFrame == st.prevFrame:
+		st.deg, st.degPrev = st.degPrev, st.deg
+		st.two, st.twoPrev = st.twoPrev, st.two
+	case st.prevFrame != nil:
+		degTwoInto(st.prevFrame, st.degPrev, st.twoPrev)
+	default:
+		for w := range st.degPrev {
+			st.degPrev[w], st.twoPrev[w] = 0, 0
+		}
+	}
+	st.degPrevFrame = st.prevFrame
+	degTwoInto(frame, st.deg, st.two)
+	st.degFrame = frame
+	return st.deg, st.two, st.degPrev, st.twoPrev
+}
+
+// fillDeltaColumn is fillDelta scattered into column block k of the wide Δ
+// matrix. When MIA is disabled the block is zeroed, matching the sequential
+// path's untouched zero matrix.
+func (b *BatchSession) fillDeltaColumn(delta *tensor.Matrix, k, bk int, frame *occlusion.StaticGraph, st *batchState) {
+	n := frame.N
+	if !b.model.mia.Enabled {
+		for w := 0; w < n; w++ {
+			o := w*delta.Cols + k*deltaDim
+			delta.Data[o], delta.Data[o+1], delta.Data[o+2] = 0, 0, 0
+		}
+		return
+	}
+	deg, two, degPrev, twoPrev := b.deltaDegrees(st, frame)
+	scale := 1 / float64(n)
+	for w := 0; w < n; w++ {
+		o := w*delta.Cols + k*deltaDim
+		delta.Data[o] = 1
+		delta.Data[o+1] = (deg[w] - degPrev[w]) * scale
+		delta.Data[o+2] = (two[w] - twoPrev[w]) * scale
+	}
+}
+
+// decode turns one target's probability column into the rendered set with
+// the same semantics as Session.Step: greedy de-occlusion by default, plain
+// thresholding under RawDecode, non-positive budget meaning unlimited.
+func (b *BatchSession) decode(r *tensor.Matrix, frame *occlusion.StaticGraph, target int) []bool {
+	cfg := &b.model.cfg
+	if cfg.RawDecode {
+		rendered := make([]bool, b.room.N)
+		budget := cfg.MaxRender
+		admitted := 0
+		for w := 0; w < b.room.N; w++ {
+			if w == target {
+				continue
+			}
+			if budget > 0 && admitted >= budget {
+				break
+			}
+			if r.Data[w] >= cfg.Threshold {
+				rendered[w] = true
+				admitted++
+			}
+		}
+		return rendered
+	}
+	return decodeRecommendation(r, frame, target, cfg.Threshold, cfg.MaxRender)
+}
+
+// step32 is the float32 fast path: identical structure to step64, single
+// precision accumulation. The sigmoid still evaluates math.Exp in float64
+// (Go has no float32 exp) — only storage and the mat-mul/SpMM accumulators
+// are f32, which is where the bandwidth is.
+func (b *BatchSession) step32(t int, targets []int, frames []*occlusion.StaticGraph) [][]bool {
+	m, room := b.model, b.room
+	n, bk, hid := room.N, len(targets), m.cfg.Hidden
+	useLWP := m.cfg.UseLWP
+	ws := tensor.Scratch32()
+
+	spMIA := obs.Begin("mia")
+	if cap(b.adjs) < bk {
+		b.adjs = make([]*tensor.CSR, bk)
+	}
+	adjs := b.adjs[:bk]
+	x := ws.Get(n, bk*featureDim)
+	mask := ws.Get(n, bk)
+	prevR := ws.Get(n, bk)
+	var delta, prevH *tensor.Matrix32
+	if useLWP {
+		delta = ws.Get(n, bk*deltaDim)
+		prevH = ws.Get(n, bk*hid)
+	}
+	for k, target := range targets {
+		st := b.state(target)
+		b.fillColumns32(k, bk, frames[k], st, x, mask, prevR, delta, prevH)
+		adjs[k] = frames[k].AdjacencyCSR()
+	}
+	spMIA.End()
+
+	spPDR := obs.Begin("pdr")
+	h := ws.Get(n, bk*hid)
+	convWide32(h, x, adjs, b.w32.pdr1M1, b.w32.pdr1M2, actReLU)
+	rt := ws.Get(n, bk)
+	convWide32(rt, h, adjs, b.w32.pdr2M1, b.w32.pdr2M2, actSigmoid)
+	spPDR.End()
+
+	r := ws.Get(n, bk)
+	if !useLWP {
+		for i, mv := range mask.Data {
+			r.Data[i] = mv * rt.Data[i]
+		}
+	} else {
+		spLWP := obs.Begin("lwp")
+		lwpWidth := featureDim + deltaDim + hid + 1
+		lwpIn := ws.Get(n, bk*lwpWidth)
+		for i := 0; i < n; i++ {
+			row := lwpIn.Data[i*lwpIn.Cols : (i+1)*lwpIn.Cols]
+			for k := 0; k < bk; k++ {
+				o := k * lwpWidth
+				copy(row[o:o+featureDim], x.Data[i*x.Cols+k*featureDim:i*x.Cols+(k+1)*featureDim])
+				copy(row[o+featureDim:o+featureDim+deltaDim], delta.Data[i*delta.Cols+k*deltaDim:i*delta.Cols+(k+1)*deltaDim])
+				copy(row[o+featureDim+deltaDim:o+featureDim+deltaDim+hid], prevH.Data[i*prevH.Cols+k*hid:i*prevH.Cols+(k+1)*hid])
+				row[o+lwpWidth-1] = prevR.Data[i*bk+k]
+			}
+		}
+		z1 := ws.Get(n, bk*hid)
+		convWide32(z1, lwpIn, adjs, b.w32.lwp1M1, b.w32.lwp1M2, actReLU)
+		z2 := ws.Get(n, bk*hid)
+		convWide32(z2, z1, adjs, b.w32.lwp2M1, b.w32.lwp2M2, actReLU)
+		sigma := ws.Get(n, bk)
+		convWide32(sigma, z2, adjs, b.w32.lwp3M1, b.w32.lwp3M2, actSigmoid)
+		for i, mv := range mask.Data {
+			s := sigma.Data[i]
+			r.Data[i] = mv * ((1-s)*rt.Data[i] + s*prevR.Data[i])
+		}
+		ws.Put(lwpIn)
+		ws.Put(z1)
+		ws.Put(z2)
+		ws.Put(sigma)
+		spLWP.End()
+	}
+
+	spDecode := obs.Begin("decode")
+	out := make([][]bool, bk)
+	col := tensor.Scratch().Get(n, 1)
+	for k, target := range targets {
+		st := b.state(target)
+		st.prevFrame = frames[k]
+		for w := 0; w < n; w++ {
+			st.prevR32[w] = r.Data[w*bk+k]
+			col.Data[w] = float64(r.Data[w*bk+k])
+			copy(st.prevH32[w*hid:(w+1)*hid], h.Data[w*h.Cols+k*hid:w*h.Cols+(k+1)*hid])
+		}
+		out[k] = b.decode(col, frames[k], target)
+	}
+	tensor.Scratch().Put(col)
+	spDecode.End()
+
+	ws.Put(x)
+	ws.Put(mask)
+	ws.Put(prevR)
+	if useLWP {
+		ws.Put(delta)
+		ws.Put(prevH)
+	}
+	ws.Put(h)
+	ws.Put(rt)
+	ws.Put(r)
+	_ = t
+	return out
+}
+
+// convWide32 mirrors convWide in float32, with one extra liberty the
+// tolerance contract allows: when the convolution narrows (dout < din) the
+// aggregated term is computed as A·(in·M2) instead of (A·in)·M2 — the same
+// value under exact arithmetic, but the sparse gather then runs at the
+// output width (1 or 8 columns instead of 8 or 16), roughly halving the
+// model's total SpMM traffic. Float64 never reassociates: its accumulation
+// order is contractual.
+func convWide32(dst, in *tensor.Matrix32, adjs []*tensor.CSR, m1, m2 *tensor.Matrix32, act int) {
+	ws := tensor.Scratch32()
+	k := len(adjs)
+	din, dout := m2.Rows, m2.Cols
+	tensor.MatMulBlocksInto32(dst, in, m1, k)
+	var agg *tensor.Matrix32
+	if dout < din {
+		hm := ws.Get(in.Rows, k*dout)
+		tensor.MatMulBlocksInto32(hm, in, m2, k)
+		agg = ws.Get(dst.Rows, dst.Cols)
+		tensor.SpMMBatchInto32(agg, adjs, hm)
+		ws.Put(hm)
+	} else {
+		msg := ws.Get(in.Rows, in.Cols)
+		tensor.SpMMBatchInto32(msg, adjs, in)
+		agg = ws.Get(dst.Rows, dst.Cols)
+		tensor.MatMulBlocksInto32(agg, msg, m2, k)
+		ws.Put(msg)
+	}
+	switch act {
+	case actReLU:
+		tensor.AddReLUInto32(dst.Data, agg.Data)
+	case actSigmoid:
+		for i, v := range agg.Data {
+			dst.Data[i] = fastSigmoid32(dst.Data[i] + v)
+		}
+	}
+	ws.Put(agg)
+}
+
+// fastSigmoid32 evaluates 1/(1+e^{−z}) with a range-reduced degree-5
+// polynomial exponential instead of math.Exp. The polynomial's relative
+// error (≤ ~3e-6 over the reduced range |r| ≤ ln2/2) lands the sigmoid
+// within ~1e-6 of the math.Exp value — far inside the float32 path's 1e-3
+// probability tolerance — while skipping math.Exp's call and
+// high-precision reconstruction. Only the float32 path uses it: the float64
+// sigmoid stays on math.Exp, whose bits are contractual.
+func fastSigmoid32(z float32) float32 {
+	x := -float64(z)
+	// e^{±45} saturates the sigmoid past any float32 distinction.
+	if x > 45 {
+		return 0
+	}
+	if x < -45 {
+		return 1
+	}
+	k := math.Floor(x*1.4426950408889634 + 0.5) // round(x/ln2)
+	r := x - k*0.6931471805599453
+	p := 1 + r*(1+r*(0.5+r*(1.0/6+r*(1.0/24+r*(1.0/120)))))
+	e := p * math.Float64frombits(uint64(int64(k)+1023)<<52)
+	return float32(1 / (1 + e))
+}
+
+// fillColumns32 mirrors fillColumns: features are computed in float64
+// exactly as MIA does and rounded once on store.
+func (b *BatchSession) fillColumns32(k, bk int, frame *occlusion.StaticGraph, st *batchState, x, mask, prevR, delta, prevH *tensor.Matrix32) {
+	room, mia := b.room, &b.model.mia
+	n := room.N
+	target := frame.Target
+	roomDiag := math.Sqrt2 * 10
+	targetMR := mia.Enabled && room.Interfaces[target] == occlusion.MR
+	hid := b.model.cfg.Hidden
+	for w := 0; w < n; w++ {
+		xo := w*x.Cols + k*featureDim
+		if w == target {
+			x.Data[xo], x.Data[xo+1], x.Data[xo+2], x.Data[xo+3] = 0, 0, 0, 0
+			mask.Data[w*bk+k] = 0
+		} else {
+			p := room.Pref(target, w)
+			s := room.Social(target, w)
+			x.Data[xo] = float32(p)
+			x.Data[xo+1] = float32(s)
+			x.Data[xo+2] = float32(math.Min(1, frame.Dist[w]/roomDiag))
+			x.Data[xo+3] = float32(b.iface[w])
+			mk := float32(1)
+			if targetMR {
+				for _, u := range frame.Neighbors(w) {
+					if int(u) != target && room.Interfaces[u] == occlusion.MR {
+						mk = 0
+						break
+					}
+				}
+			}
+			if mia.Blocklist != nil && mia.Blocklist[w] {
+				mk = 0
+			}
+			mask.Data[w*bk+k] = mk
+		}
+		if st.prevR32 != nil {
+			prevR.Data[w*bk+k] = st.prevR32[w]
+		} else {
+			prevR.Data[w*bk+k] = 0
+		}
+	}
+	if delta != nil {
+		b.fillDeltaColumn32(delta, k, bk, frame, st)
+	}
+	if prevH != nil {
+		for w := 0; w < n; w++ {
+			dst := prevH.Data[w*prevH.Cols+k*hid : w*prevH.Cols+(k+1)*hid]
+			if st.prevH32 != nil {
+				copy(dst, st.prevH32[w*hid:(w+1)*hid])
+			} else {
+				for j := range dst {
+					dst[j] = 0
+				}
+			}
+		}
+	}
+}
+
+func (b *BatchSession) fillDeltaColumn32(delta *tensor.Matrix32, k, bk int, frame *occlusion.StaticGraph, st *batchState) {
+	n := frame.N
+	if !b.model.mia.Enabled {
+		for w := 0; w < n; w++ {
+			o := w*delta.Cols + k*deltaDim
+			delta.Data[o], delta.Data[o+1], delta.Data[o+2] = 0, 0, 0
+		}
+		return
+	}
+	deg, two, degPrev, twoPrev := b.deltaDegrees(st, frame)
+	scale := 1 / float64(n)
+	for w := 0; w < n; w++ {
+		o := w*delta.Cols + k*deltaDim
+		delta.Data[o] = 1
+		delta.Data[o+1] = float32((deg[w] - degPrev[w]) * scale)
+		delta.Data[o+2] = float32((two[w] - twoPrev[w]) * scale)
+	}
+}
+
+// targetView is a single-target sim.Stepper view over a BatchSession: every
+// Step is a one-column StepTargets call against the shared per-target state,
+// so fused batches and solo fallback steps see the same recurrent history.
+type targetView struct {
+	b      *BatchSession
+	target int
+}
+
+// TargetStepper returns a single-target stepper view sharing this session's
+// state. It satisfies sim.Stepper structurally (core does not import sim).
+func (b *BatchSession) TargetStepper(target int) interface {
+	Step(t int, frame *occlusion.StaticGraph) []bool
+} {
+	return &targetView{b: b, target: target}
+}
+
+// Step implements the sim.Stepper contract for one target.
+func (v *targetView) Step(t int, frame *occlusion.StaticGraph) []bool {
+	return v.b.StepTargets(t, []int{v.target}, []*occlusion.StaticGraph{frame})[0]
+}

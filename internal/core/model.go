@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
-	"sort"
 
 	"after/internal/dataset"
 	"after/internal/nn"
@@ -292,28 +292,38 @@ func (s *Session) Step(t int, frame *occlusion.StaticGraph) []bool {
 //
 // Equal probabilities are ordered by ascending user index: the tie-break
 // makes the admitted set a deterministic function of r_t alone, which the
-// workers=1 vs workers=8 determinism suite relies on (sort.Slice is
-// unstable, so without it ties could decode differently across runs).
+// workers=1 vs workers=8 determinism suite relies on.
+//
+// Candidates are visited through lazy min-heap pops rather than a full sort:
+// the pop sequence of a heap under a strict total order is exactly the sorted
+// sequence, so the admitted set is unchanged, but a decode that stops at the
+// render budget only pays O(c + pops·log c) instead of O(c·log c) for c
+// above-threshold candidates.
 func decodeRecommendation(r *tensor.Matrix, frame *occlusion.StaticGraph, target int, threshold float64, budget int) []bool {
 	n := r.Rows
-	order := make([]int, 0, n)
+	heap := make([]decodeCand, 0, n)
 	for w := 0; w < n; w++ {
-		if w != target && r.At(w, 0) >= threshold {
-			order = append(order, w)
+		if w != target {
+			if p := r.At(w, 0); p >= threshold {
+				heap = append(heap, decodeCand{probKey(p), int32(w)})
+			}
 		}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ra, rb := r.At(order[a], 0), r.At(order[b], 0)
-		if ra != rb {
-			return ra > rb
-		}
-		return order[a] < order[b]
-	})
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDownCand(heap, i)
+	}
 	rendered := make([]bool, n)
 	admitted := 0
-	for _, w := range order {
+	for len(heap) > 0 {
 		if budget > 0 && admitted >= budget {
 			break
+		}
+		w := int(heap[0].w)
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		if len(heap) > 1 {
+			siftDownCand(heap, 0)
 		}
 		free := true
 		for _, u := range frame.Neighbors(w) {
@@ -328,6 +338,59 @@ func decodeRecommendation(r *tensor.Matrix, frame *occlusion.StaticGraph, target
 		}
 	}
 	return rendered
+}
+
+// decodeCand orders a decode candidate by (descending probability, ascending
+// user index). The probability is carried as a single uint64 key from
+// probKey, so heap comparisons are two integer compares instead of float
+// loads with a tie-break branch.
+type decodeCand struct {
+	key uint64
+	w   int32
+}
+
+// probKey maps a finite probability to a uint64 whose ascending order is
+// descending probability: the IEEE-754 sign-fold (complement negatives, set
+// the sign bit on non-negatives) sorts bit patterns like the numbers, and
+// complementing that flips the direction. −0 is normalized to +0 first so
+// the key agrees with == on probabilities, keeping the index tie-break
+// identical to a direct float comparator.
+func probKey(p float64) uint64 {
+	if p == 0 {
+		p = 0
+	}
+	b := math.Float64bits(p)
+	if b&(1<<63) != 0 {
+		b = ^b
+	} else {
+		b |= 1 << 63
+	}
+	return ^b
+}
+
+// siftDownCand restores the min-heap property rooted at i.
+func siftDownCand(h []decodeCand, i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			return
+		}
+		if rc := c + 1; rc < len(h) && candBefore(h[rc], h[c]) {
+			c = rc
+		}
+		if !candBefore(h[c], h[i]) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}
+
+func candBefore(a, b decodeCand) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.w < b.w
 }
 
 // Probabilities returns the last step's recommendation vector r_t, useful

@@ -43,6 +43,10 @@ type BenchReport struct {
 	// Scale is the dense-vs-sparse message-passing sweep (see RunScale);
 	// omitted from reports written before the CSR path existed.
 	Scale []ScaleBench `json:"scale,omitempty"`
+	// Batched is the batched-vs-sequential multi-target inference sweep (see
+	// RunBatchedBench); omitted from reports written before the batched path
+	// existed.
+	Batched []BatchBench `json:"batched,omitempty"`
 	// Notes carries free-form machine observations measured during the run —
 	// currently the observability layer's per-record overhead in both the
 	// disabled and enabled states, so a baseline records what its own
@@ -158,6 +162,12 @@ func RunBench(o Options) (*BenchReport, error) {
 		return nil, err
 	}
 	r.Scale = scale
+
+	batched, err := RunBatchedBench(o)
+	if err != nil {
+		return nil, err
+	}
+	r.Batched = batched
 	r.Notes = append(r.Notes, benchObsOverhead())
 	return r, nil
 }
@@ -327,6 +337,10 @@ func (r *BenchReport) Format() string {
 	if len(r.Scale) > 0 {
 		b.WriteString("scale sweep (POSHGNN dense vs sparse message passing):\n")
 		b.WriteString(FormatScale(r.Scale))
+	}
+	if len(r.Batched) > 0 {
+		b.WriteString("batched sweep (per-target step latency, sequential vs fused vs float32):\n")
+		b.WriteString(FormatBatched(r.Batched))
 	}
 	return b.String()
 }

@@ -107,11 +107,45 @@ func validationUtility(rec sim.Recommender, room *dataset.Room) (float64, error)
 	return res["cand"].Utility, nil
 }
 
-// POSHGNNRec adapts a trained POSHGNN to the sim harness.
+// POSHGNNRec adapts a trained POSHGNN to the sim harness. The returned
+// recommender is batch-capable: sim.Evaluate and the serve micro-batcher
+// fuse all targets of a room into one shared forward pass per frame through
+// core.BatchSession. The float64 batched pass is bit-identical to the
+// per-target Session, so table artifacts do not depend on the route taken.
 func POSHGNNRec(m *core.POSHGNN, name string) sim.Recommender {
-	return sim.Func{RecName: name, Start: func(r *dataset.Room, t int) sim.Stepper {
-		return m.StartEpisode(r, t)
-	}}
+	return poshgnnRec{m: m, name: name}
+}
+
+// POSHGNNRecF32 is POSHGNNRec on the float32 inference fast path: batched
+// sessions run the single-precision kernels (roughly halved memory traffic),
+// trading the float64 oracle's last bits within the tolerance documented at
+// core.BatchSession. Serving-only — training, Table II, and the CI quality
+// gate never use it.
+func POSHGNNRecF32(m *core.POSHGNN, name string) sim.Recommender {
+	return poshgnnRec{m: m, name: name, f32: true}
+}
+
+type poshgnnRec struct {
+	m    *core.POSHGNN
+	name string
+	f32  bool
+}
+
+func (r poshgnnRec) Name() string { return r.name }
+
+// StartEpisode keeps solo episodes on the same numeric path as batches: the
+// float32 variant steps a width-1 batch session so a request served solo and
+// one served fused read identical weights and state layout.
+func (r poshgnnRec) StartEpisode(rm *dataset.Room, target int) sim.Stepper {
+	if r.f32 {
+		return r.m.StartBatchSession(rm, core.BatchOptions{Float32: true}).TargetStepper(target)
+	}
+	return r.m.StartEpisode(rm, target)
+}
+
+// StartBatch implements sim.BatchRecommender.
+func (r poshgnnRec) StartBatch(rm *dataset.Room) sim.BatchStepper {
+	return r.m.StartBatchSession(rm, core.BatchOptions{Float32: r.f32})
 }
 
 // candidates flattens the (alpha, seed) grid in the canonical scan order:

@@ -124,6 +124,25 @@ func (g *Guard) Step(t int, frame *occlusion.StaticGraph, deadline time.Duration
 	return g.acceptOutput(raw)
 }
 
+// OnPrimary reports whether the session is still served by the primary
+// recommender — no demotion has happened and the chain is not exhausted.
+// The serving layer uses it to decide which sessions are eligible for the
+// fused batched pass: a demoted session's fallback recommender has its own
+// per-target state and must keep stepping solo.
+func (g *Guard) OnPrimary() bool { return g.stepper != nil && g.chainIdx == 0 }
+
+// AcceptFresh books a fresh rendered set produced outside the guard's own
+// stepper — the serving layer's fused batched pass — through the same output
+// validation and hold-state update as a successful protected step, so hold
+// and degradation semantics are identical whichever path produced the set.
+func (g *Guard) AcceptFresh(out []bool) ([]bool, bool) { return g.acceptOutput(out) }
+
+// Hold serves the current step from the hold state without touching the
+// stepper. The serving layer uses it when a fused batched pass misses its
+// deadline: the member guards still owe an answer, and stale-with-honest
+// fresh=false is exactly what a solo deadline miss would have produced.
+func (g *Guard) Hold() []bool { return g.degrade() }
+
 // degrade serves the current step from the last good rendered set.
 func (g *Guard) degrade() []bool {
 	g.tly.bump(kindDegradedStep)

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"after/internal/dataset"
+	"after/internal/occlusion"
+	"after/internal/sim"
+)
+
+// fusedRec is a deterministic batch-capable recommender. Per-target recurrent
+// counters live in the shared batch session, and the per-column output formula
+// matches testStepper's exactly — so when each target is stepped once per
+// round, the fused route must reproduce the solo route's transcript bit for
+// bit, and any extra, missing, or duplicated column changes the output.
+type fusedRec struct {
+	name    string
+	calls   *int     // StepTargets invocations across all sessions
+	starts  *int     // StartBatch invocations
+	batches *[][]int // copy of the targets slice per StepTargets call
+}
+
+func (r fusedRec) Name() string { return r.name }
+
+func (r fusedRec) StartEpisode(room *dataset.Room, target int) sim.Stepper {
+	return &testStepper{n: room.N, target: target}
+}
+
+func (r fusedRec) StartBatch(room *dataset.Room) sim.BatchStepper {
+	if r.starts != nil {
+		*r.starts++
+	}
+	return &fusedBatch{n: room.N, rec: r, counts: map[int]int{}}
+}
+
+type fusedBatch struct {
+	n      int
+	rec    fusedRec
+	counts map[int]int
+}
+
+func (b *fusedBatch) StepTargets(t int, targets []int, frames []*occlusion.StaticGraph) [][]bool {
+	if b.rec.calls != nil {
+		*b.rec.calls++
+	}
+	if b.rec.batches != nil {
+		*b.rec.batches = append(*b.rec.batches, append([]int(nil), targets...))
+	}
+	out := make([][]bool, len(targets))
+	for i, target := range targets {
+		b.counts[target]++
+		c := b.counts[target]
+		row := make([]bool, b.n)
+		for w := range row {
+			row[w] = w != target && (w+t+c+target)%3 == 0
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TestFusedBitIdenticalToSolo: with a batch-capable primary, the fused path
+// must reproduce exactly the transcript a solo-only primary produces — across
+// batch widths. MaxBatch=1 steps every request through a width-1 fused pass,
+// MaxBatch=16 coalesces; both must match the plain per-target route.
+func TestFusedBitIdenticalToSolo(t *testing.T) {
+	targets := []int{0, 2, 4, 6, 9}
+	solo := runScenario(t, Config{Primary: testRec{name: "test"}, MaxBatch: 16, BatchWindow: 5 * time.Millisecond}, 10, 6, targets)
+	fused1 := runScenario(t, Config{Primary: fusedRec{name: "test"}, MaxBatch: 1}, 10, 6, targets)
+	fused16 := runScenario(t, Config{Primary: fusedRec{name: "test"}, MaxBatch: 16, BatchWindow: 5 * time.Millisecond}, 10, 6, targets)
+	if len(solo) != len(fused1) || len(solo) != len(fused16) {
+		t.Fatalf("transcript lengths differ: solo=%d fused1=%d fused16=%d", len(solo), len(fused1), len(fused16))
+	}
+	for i := range solo {
+		if solo[i] != fused16[i] {
+			t.Fatalf("solo vs fused(16) diverge at %d:\n  solo:  %s\n  fused: %s", i, solo[i], fused16[i])
+		}
+		if fused1[i] != fused16[i] {
+			t.Fatalf("fused(1) vs fused(16) diverge at %d:\n  1:  %s\n  16: %s", i, fused1[i], fused16[i])
+		}
+	}
+}
+
+// TestFusedDuplicateTargetsOneColumn: duplicate targets inside one coalesced
+// batch must cost exactly one fused column per DISTINCT target, with every
+// requester of a target receiving the identical result.
+func TestFusedDuplicateTargetsOneColumn(t *testing.T) {
+	reqTargets := []int{2, 2, 5, 5, 5, 2}
+	var calls int
+	var batches [][]int
+	s := newTestServer(t, Config{
+		Primary:     fusedRec{name: "test", calls: &calls, batches: &batches},
+		MaxBatch:    len(reqTargets),
+		BatchWindow: time.Minute,
+		MaxDeadline: time.Minute,
+	})
+	mustCreate(t, s, RoomSpec{Name: "r", Users: 8})
+	mustFrame(t, s, "r", 0, framePos(8, 0))
+
+	results := make([]RecResult, len(reqTargets))
+	var wg sync.WaitGroup
+	for i, target := range reqTargets {
+		wg.Add(1)
+		go func(i, target int) {
+			defer wg.Done()
+			res, err := s.Recommend(context.Background(), "r", target, time.Minute)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i, target)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if calls != 1 {
+		t.Fatalf("StepTargets called %d times, want 1 (one fused pass for the whole batch)", calls)
+	}
+	got := map[int]bool{}
+	for _, target := range batches[0] {
+		if got[target] {
+			t.Fatalf("target %d appears twice in the fused pass %v — duplicates must coalesce to one column", target, batches[0])
+		}
+		got[target] = true
+	}
+	if len(got) != 2 || !got[2] || !got[5] {
+		t.Fatalf("fused pass covered %v, want exactly {2, 5}", batches[0])
+	}
+	for i, res := range results {
+		if !res.Fresh || res.ServedBy != "test" {
+			t.Fatalf("request %d not served fresh by the fused primary: %+v", i, res)
+		}
+		for j, other := range results {
+			if reqTargets[i] == reqTargets[j] && fmt.Sprint(res.Rendered) != fmt.Sprint(other.Rendered) {
+				t.Fatalf("requests %d and %d share target %d but differ: %v vs %v",
+					i, j, reqTargets[i], res.Rendered, other.Rendered)
+			}
+		}
+	}
+	info, _ := s.RoomInfo("r")
+	if info.Served != int64(len(reqTargets)) {
+		t.Fatalf("served %d, want %d", info.Served, len(reqTargets))
+	}
+}
+
+// panicBatchRec serves fine solo but its fused sessions always panic.
+type panicBatchRec struct {
+	fusedRec
+}
+
+func (r panicBatchRec) StartBatch(room *dataset.Room) sim.BatchStepper {
+	if r.starts != nil {
+		*r.starts++
+	}
+	return panicBatch{}
+}
+
+type panicBatch struct{}
+
+func (panicBatch) StepTargets(t int, targets []int, frames []*occlusion.StaticGraph) [][]bool {
+	panic("test: injected fused-pass panic")
+}
+
+// TestFusedPanicFallsBackSoloThenRetires: a fused-pass panic must not surface
+// to any requester — the members step solo that frame and stay fresh — and
+// MaxRetries consecutive panics retire the fused path so the room stops
+// paying for doomed passes (the session is rebuilt between attempts).
+func TestFusedPanicFallsBackSoloThenRetires(t *testing.T) {
+	var calls, starts int
+	s := newTestServer(t, Config{
+		Primary:     panicBatchRec{fusedRec{name: "test", calls: &calls, starts: &starts}},
+		MaxBatch:    4,
+		MaxRetries:  2,
+		MaxDeadline: time.Minute,
+	})
+	mustCreate(t, s, RoomSpec{Name: "r", Users: 8})
+	mustFrame(t, s, "r", 0, framePos(8, 0))
+
+	const rounds = 6
+	for i := 0; i < rounds; i++ {
+		res, err := s.Recommend(context.Background(), "r", i%4, time.Minute)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !res.Fresh || res.ServedBy != "test" {
+			t.Fatalf("request %d: fused panic leaked to the response: %+v", i, res)
+		}
+	}
+	// Panic 1 and 2 rebuild the session; panic 3 exceeds MaxRetries=2 and
+	// retires the path. Rounds 4..6 must go straight to solo.
+	if starts != 3 {
+		t.Fatalf("StartBatch called %d times, want 3 (initial + 2 rebuilds)", starts)
+	}
+}
+
+// slowBatchRec serves fine solo but its fused passes outlive any deadline.
+type slowBatchRec struct {
+	fusedRec
+}
+
+func (r slowBatchRec) StartBatch(room *dataset.Room) sim.BatchStepper {
+	if r.starts != nil {
+		*r.starts++
+	}
+	return slowBatch{}
+}
+
+type slowBatch struct{}
+
+func (slowBatch) StepTargets(t int, targets []int, frames []*occlusion.StaticGraph) [][]bool {
+	time.Sleep(500 * time.Millisecond)
+	return make([][]bool, len(targets))
+}
+
+// TestFusedDeadlineMissServesHoldThenRetires: a fused pass that misses the
+// group deadline degrades its members to hold state — same contract as a solo
+// deadline miss — and once the straggler is abandoned past the grace period,
+// the fused path retires permanently (the goroutine still owns the session).
+func TestFusedDeadlineMissServesHoldThenRetires(t *testing.T) {
+	var starts int
+	s := newTestServer(t, Config{
+		Primary:      slowBatchRec{fusedRec{name: "test", starts: &starts}},
+		MaxBatch:     4,
+		AbandonAfter: 40 * time.Millisecond,
+		MaxDeadline:  time.Minute,
+	})
+	mustCreate(t, s, RoomSpec{Name: "r", Users: 8})
+	mustFrame(t, s, "r", 0, framePos(8, 0))
+
+	res, err := s.Recommend(context.Background(), "r", 1, 30*time.Millisecond)
+	if err != nil {
+		t.Fatalf("deadline-missed request: %v", err)
+	}
+	if res.Fresh {
+		t.Fatalf("fused pass sleeps 500ms against a 30ms deadline yet served fresh: %+v", res)
+	}
+	// The straggler was abandoned, so the fused path is gone for good: the
+	// next request must step solo (fresh, no new StartBatch).
+	res, err = s.Recommend(context.Background(), "r", 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fresh || res.ServedBy != "test" {
+		t.Fatalf("post-retirement request not served fresh solo: %+v", res)
+	}
+	if starts != 1 {
+		t.Fatalf("StartBatch called %d times, want 1 (retired, never rebuilt)", starts)
+	}
+}

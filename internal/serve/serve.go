@@ -49,24 +49,26 @@ import (
 // Package-level obs handles (cached across registry resets, no-ops while
 // obs is disabled), mirroring the idiom of every instrumented package.
 var (
-	obsAccepted    = obs.Default().Counter("serve.accepted")
-	obsDegraded    = obs.Default().Counter("serve.degraded")
-	obsFallback    = obs.Default().Counter("serve.fallback_served")
-	obsShedRoom    = obs.Default().Counter("serve.shed_room_queue")
-	obsShedGlobal  = obs.Default().Counter("serve.shed_global_queue")
-	obsShedDrain   = obs.Default().Counter("serve.shed_draining")
-	obsExpired     = obs.Default().Counter("serve.expired_in_queue")
-	obsFrames      = obs.Default().Counter("serve.frames")
-	obsFramesRep   = obs.Default().Counter("serve.frames_repaired")
-	obsFramesStale = obs.Default().Counter("serve.frames_stale")
-	obsBatches     = obs.Default().Counter("serve.batches")
-	obsBatchedReqs = obs.Default().Counter("serve.batched_requests")
-	obsRoomsGauge  = obs.Default().Gauge("serve.rooms")
-	obsQueueGauge  = obs.Default().Gauge("serve.queue_depth")
-	obsDrainGauge  = obs.Default().Gauge("serve.draining")
-	obsQueueWait   = obs.Default().Histogram("serve.queue_wait")
-	obsStepLat     = obs.Default().Histogram("serve.step")
-	obsE2E         = obs.Default().Histogram("serve.e2e")
+	obsAccepted     = obs.Default().Counter("serve.accepted")
+	obsDegraded     = obs.Default().Counter("serve.degraded")
+	obsFallback     = obs.Default().Counter("serve.fallback_served")
+	obsShedRoom     = obs.Default().Counter("serve.shed_room_queue")
+	obsShedGlobal   = obs.Default().Counter("serve.shed_global_queue")
+	obsShedDrain    = obs.Default().Counter("serve.shed_draining")
+	obsExpired      = obs.Default().Counter("serve.expired_in_queue")
+	obsFrames       = obs.Default().Counter("serve.frames")
+	obsFramesRep    = obs.Default().Counter("serve.frames_repaired")
+	obsFramesStale  = obs.Default().Counter("serve.frames_stale")
+	obsBatches      = obs.Default().Counter("serve.batches")
+	obsBatchedReqs  = obs.Default().Counter("serve.batched_requests")
+	obsFusedPasses  = obs.Default().Counter("serve.fused_passes")
+	obsFusedTargets = obs.Default().Counter("serve.fused_targets")
+	obsRoomsGauge   = obs.Default().Gauge("serve.rooms")
+	obsQueueGauge   = obs.Default().Gauge("serve.queue_depth")
+	obsDrainGauge   = obs.Default().Gauge("serve.draining")
+	obsQueueWait    = obs.Default().Histogram("serve.queue_wait")
+	obsStepLat      = obs.Default().Histogram("serve.step")
+	obsE2E          = obs.Default().Histogram("serve.e2e")
 )
 
 // Config tunes the serving daemon. The zero value of every field takes the

@@ -13,6 +13,7 @@ import (
 	"after/internal/occlusion"
 	"after/internal/parallel"
 	"after/internal/resilience"
+	"after/internal/sim"
 )
 
 // RoomSpec describes a room to create. Zero fields take defaults: Kind
@@ -95,6 +96,15 @@ type roomSession struct {
 	// the batch worker goroutine (creation happens in the sequential prelude
 	// of processBatch, before the parallel fan-out).
 	guards map[int]*resilience.Guard
+
+	// batch is the room's shared fused session, lazily created when the
+	// primary implements sim.BatchRecommender. Like guards, it is owned by
+	// the batch worker goroutine. batchPanics counts consecutive fused-pass
+	// panics; past MaxRetries the fused path is written off (batchBroken)
+	// and every target steps solo through its guard from then on.
+	batch       sim.BatchStepper
+	batchBroken bool
+	batchPanics int
 
 	bat *batcher
 
@@ -336,16 +346,31 @@ func (s *Server) Recommend(ctx context.Context, roomID string, target int, deadl
 }
 
 // processBatch serves one coalesced batch: shed requests that expired in the
-// queue, group the rest by target, step each distinct target once through
-// its resilience.Guard with the group's tightest remaining budget, and
-// respond to every member as soon as its target's step completes (not after
-// the whole batch, so one straggling target cannot blow another member's
-// deadline).
+// queue, group the rest by target, step the distinct targets, and respond to
+// every member.
 //
-// Batching preserves per-request semantics exactly: each target's guard
-// steps once per batch it appears in, in queue order, and distinct targets
-// are independent sessions — so the fused pass is bit-identical to stepping
-// the same requests one at a time (tested in batcher_test.go).
+// When the primary implements sim.BatchRecommender, every session still on
+// the primary steps through ONE fused StepTargets call on the room's shared
+// batch session — the whole room pays one forward pass per micro-batch
+// instead of one per distinct target. Duplicate targets coalesce into a
+// single column: grouping happens before the fused call, so K requests for
+// the same target cost exactly one column and receive identical results.
+// Demoted sessions (and every session when the primary cannot batch) keep
+// the previous behavior: each distinct target steps solo through its
+// resilience.Guard with the group's tightest remaining budget, fanned out
+// over the worker pool.
+//
+// Batching preserves per-request semantics exactly: each target appears at
+// most once per pass, distinct targets are independent recurrent states
+// inside the shared session, and the fused outputs are bit-identical to
+// stepping the same requests one at a time (tested in batcher_test.go).
+// If a fused pass panics, its members fall back to their solo guards for
+// that frame and the shared session is rebuilt; MaxRetries consecutive
+// fused panics write the fused path off for the room. If a fused pass
+// misses the group deadline, members serve their hold state — exactly what
+// a solo deadline miss produces — and an abandoned straggler (still running
+// past the grace period) permanently retires the fused path, since its
+// session can never be reused safely.
 func (rs *roomSession) processBatch(batch []*pending) {
 	obsBatches.Inc()
 	obsBatchedReqs.Add(int64(len(batch)))
@@ -404,11 +429,9 @@ func (rs *roomSession) processBatch(batch []*pending) {
 	}
 
 	batchSize := len(batch)
-	parallel.ForEach(len(order), func(i int) {
-		target := order[i]
-		group := groups[target]
-		// The group's effective budget is its tightest member's remaining
-		// time; zero deadlines (unbounded) only occur all-together.
+	// The group's effective budget is its tightest member's remaining time;
+	// zero deadlines (unbounded) only occur all-together.
+	groupBudget := func(group []*pending) time.Duration {
 		var budget time.Duration
 		for _, p := range group {
 			if p.deadline.IsZero() {
@@ -419,11 +442,11 @@ func (rs *roomSession) processBatch(batch []*pending) {
 				budget = rem
 			}
 		}
-		stepStart := time.Now()
-		frame := occlusion.BuildStatic(target, pos, rs.room.AvatarRadius)
-		rendered, fresh := gs[i].Step(step, frame, budget)
-		obsStepLat.Observe(time.Since(stepStart))
-
+		return budget
+	}
+	respond := func(i int, rendered []bool, fresh bool) {
+		target := order[i]
+		group := groups[target]
 		shown := make([]int, 0, len(rendered))
 		for w, on := range rendered {
 			if on {
@@ -452,5 +475,179 @@ func (rs *roomSession) processBatch(batch []*pending) {
 				QueueMs:   float64(now.Sub(p.enq)) / float64(time.Millisecond),
 			}}
 		}
+	}
+
+	// Partition the distinct targets: fused (still on the primary, which can
+	// batch) vs solo (demoted, or no batch support at all).
+	solo := make([]int, 0, len(order))
+	var fused []int
+	if rs.batchStepper() != nil {
+		for i := range order {
+			if gs[i].OnPrimary() {
+				fused = append(fused, i)
+			} else {
+				solo = append(solo, i)
+			}
+		}
+	} else {
+		for i := range order {
+			solo = append(solo, i)
+		}
+	}
+
+	if len(fused) > 0 {
+		targets := make([]int, len(fused))
+		frames := make([]*occlusion.StaticGraph, len(fused))
+		parallel.ForEach(len(fused), func(j int) {
+			targets[j] = order[fused[j]]
+			frames[j] = occlusion.BuildStatic(targets[j], pos, rs.room.AvatarRadius)
+		})
+		// The fused pass runs under the tightest budget of any member it
+		// serves: one shared forward cannot outlive its most impatient
+		// request.
+		var budget time.Duration
+		for _, i := range fused {
+			if b := groupBudget(groups[order[i]]); b > 0 && (budget == 0 || b < budget) {
+				budget = b
+			}
+		}
+		stepStart := time.Now()
+		outs, soloFallback := rs.fusedStep(step, targets, frames, budget)
+		obsStepLat.Observe(time.Since(stepStart))
+		switch {
+		case outs != nil:
+			rs.batchPanics = 0
+			obsFusedPasses.Inc()
+			obsFusedTargets.Add(int64(len(fused)))
+			for j, i := range fused {
+				rendered, fresh := gs[i].AcceptFresh(outs[j])
+				respond(i, rendered, fresh)
+			}
+		case soloFallback:
+			// The pass panicked: this frame's members step solo through
+			// their own guards, which have the full retry/demote machinery.
+			solo = append(solo, fused...)
+		default:
+			// Deadline miss: every member serves stale, like a solo miss.
+			for _, i := range fused {
+				respond(i, gs[i].Hold(), false)
+			}
+		}
+	}
+
+	parallel.ForEach(len(solo), func(j int) {
+		i := solo[j]
+		target := order[i]
+		budget := groupBudget(groups[target])
+		stepStart := time.Now()
+		frame := occlusion.BuildStatic(target, pos, rs.room.AvatarRadius)
+		rendered, fresh := gs[i].Step(step, frame, budget)
+		obsStepLat.Observe(time.Since(stepStart))
+		respond(i, rendered, fresh)
 	})
+}
+
+// batchStepper returns the room's shared fused session, lazily starting it
+// on first use, or nil when the primary cannot batch or the fused path has
+// been written off. Worker-goroutine only.
+func (rs *roomSession) batchStepper() sim.BatchStepper {
+	if rs.batchBroken {
+		return nil
+	}
+	if rs.batch == nil {
+		br, ok := rs.srv.cfg.Primary.(sim.BatchRecommender)
+		if !ok {
+			rs.batchBroken = true
+			return nil
+		}
+		rs.batch = br.StartBatch(rs.room)
+	}
+	return rs.batch
+}
+
+// fusedStep runs one fused StepTargets call under panic recovery and the
+// supplied deadline (<= 0 means unbounded, inline). outs == nil means the
+// pass produced nothing: soloFallback true directs the members to their solo
+// guards for this frame (the pass panicked, so its session state is suspect
+// and is rebuilt fresh for the next batch); false means serve stale (the
+// pass missed its deadline).
+func (rs *roomSession) fusedStep(t int, targets []int, frames []*occlusion.StaticGraph, dl time.Duration) (outs [][]bool, soloFallback bool) {
+	bs := rs.batch
+	run := func() (res [][]bool, panicked bool) {
+		defer func() {
+			if p := recover(); p != nil {
+				res, panicked = nil, true
+			}
+		}()
+		res = bs.StepTargets(t, targets, frames)
+		if len(res) != len(targets) {
+			// A malformed fused result is as bad as a panic: discard it and
+			// let the solo guards validate their own outputs.
+			return nil, true
+		}
+		return res, false
+	}
+	if dl <= 0 {
+		res, panicked := run()
+		if panicked {
+			rs.noteBatchPanic()
+			return nil, true
+		}
+		return res, false
+	}
+	type fusedResult struct {
+		outs     [][]bool
+		panicked bool
+	}
+	ch := make(chan fusedResult, 1)
+	go func() {
+		res, panicked := run()
+		ch <- fusedResult{res, panicked}
+	}()
+	timer := time.NewTimer(dl)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.panicked {
+			rs.noteBatchPanic()
+			return nil, true
+		}
+		return r.outs, false
+	case <-timer.C:
+	}
+	// Deadline missed: wait out the straggler grace, mirroring the solo
+	// guards' issueStep.
+	grace := rs.srv.cfg.AbandonAfter - dl
+	if grace < 0 {
+		grace = 0
+	}
+	graceTimer := time.NewTimer(grace)
+	defer graceTimer.Stop()
+	select {
+	case r := <-ch:
+		// Late completion: the shared session advanced but the results are
+		// stale and discarded, exactly like a solo stepDeadlineKept.
+		if r.panicked {
+			rs.noteBatchPanic()
+		}
+		return nil, false
+	case <-graceTimer.C:
+		// Straggler abandoned mid-call: the goroutine still owns the shared
+		// session (it would deadlock or corrupt a reuse), so the fused path
+		// retires permanently for this room.
+		rs.batch = nil
+		rs.batchBroken = true
+		return nil, false
+	}
+}
+
+// noteBatchPanic books one fused-pass panic: the shared session is rebuilt
+// fresh for the next batch, and MaxRetries consecutive panics retire the
+// fused path for good (a success resets the count).
+func (rs *roomSession) noteBatchPanic() {
+	rs.batchPanics++
+	rs.batch = nil
+	if rs.batchPanics > rs.srv.cfg.MaxRetries {
+		rs.batchBroken = true
+	}
 }

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+
+	"after/internal/dataset"
+	"after/internal/occlusion"
+)
+
+// patternRec renders a deterministic function of (target, t, w) so the fused
+// and per-episode routes are comparable bit-for-bit. It counts StepTargets
+// invocations and records batch widths.
+type patternRec struct {
+	calls  *int
+	widths *[]int
+}
+
+func patternOut(n, target, t int) []bool {
+	out := make([]bool, n)
+	for w := range out {
+		out[w] = w != target && (w+t+target)%3 == 0
+	}
+	return out
+}
+
+func (patternRec) Name() string { return "pattern" }
+
+func (patternRec) StartEpisode(rm *dataset.Room, target int) Stepper {
+	return patternStepper{n: rm.N, target: target}
+}
+
+type patternStepper struct{ n, target int }
+
+func (s patternStepper) Step(t int, frame *occlusion.StaticGraph) []bool {
+	return patternOut(s.n, s.target, t)
+}
+
+func (r patternRec) StartBatch(rm *dataset.Room) BatchStepper {
+	return patternBatch{n: rm.N, calls: r.calls, widths: r.widths}
+}
+
+type patternBatch struct {
+	n      int
+	calls  *int
+	widths *[]int
+}
+
+func (b patternBatch) StepTargets(t int, targets []int, frames []*occlusion.StaticGraph) [][]bool {
+	if b.calls != nil {
+		*b.calls++
+	}
+	if b.widths != nil {
+		*b.widths = append(*b.widths, len(targets))
+	}
+	out := make([][]bool, len(targets))
+	for i, target := range targets {
+		out[i] = patternOut(b.n, target, t)
+	}
+	return out
+}
+
+// TestEvaluateRoutesBatchRecommender: a BatchRecommender goes through one
+// fused StepTargets per frame covering every target, and its scores match
+// the per-episode route exactly (same deterministic outputs either way).
+func TestEvaluateRoutesBatchRecommender(t *testing.T) {
+	rm := room(t, 7, 5)
+	targets := []int{0, 6, 12, 18}
+	calls, widths := 0, []int{}
+	rec := patternRec{calls: &calls, widths: &widths}
+
+	got, err := Evaluate([]Recommender{rec, fixedRec("other", 1)}, rm, targets, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := rm.T() + 1
+	if calls != steps {
+		t.Fatalf("fused StepTargets called %d times, want %d (one per frame)", calls, steps)
+	}
+	for _, w := range widths {
+		if w != len(targets) {
+			t.Fatalf("fused batch width %d, want %d", w, len(targets))
+		}
+	}
+	// Erase the batch capability: Func only forwards StartEpisode.
+	seq := Func{RecName: "pattern", Start: rec.StartEpisode}
+	want, err := Evaluate([]Recommender{seq}, rm, targets, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, w := got["pattern"], want["pattern"]
+	if g.Utility != w.Utility || g.Preference != w.Preference || g.Social != w.Social {
+		t.Fatalf("batched route scored %+v, sequential route %+v", g, w)
+	}
+}
+
+// TestRunBatchedEpisodesMatchesRunEpisode: fused scoring over several dogs
+// equals RunEpisode target by target.
+func TestRunBatchedEpisodesMatchesRunEpisode(t *testing.T) {
+	rm := room(t, 8, 4)
+	rec := patternRec{}
+	targets := []int{3, 9, 15}
+	dogs := make([]*occlusion.DOG, len(targets))
+	for i, target := range targets {
+		dogs[i] = occlusion.BuildDOG(target, rm.Traj, rm.AvatarRadius)
+	}
+	batched, err := RunBatchedEpisodes(rec, rm, dogs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dog := range dogs {
+		want, err := RunEpisode(rec, rm, dog, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batched[i]
+		if got.Target != dog.Target || got.Recommender != "pattern" {
+			t.Fatalf("result identity %+v", got)
+		}
+		if got.Utility != want.Utility || got.Preference != want.Preference || got.Social != want.Social {
+			t.Fatalf("target %d: batched %+v vs episode %+v", dog.Target, got.Result, want.Result)
+		}
+	}
+}
+
+// TestRunBatchedEpisodesErrors: empty input, out-of-range targets, and
+// mismatched episode lengths are rejected.
+func TestRunBatchedEpisodesErrors(t *testing.T) {
+	rm := room(t, 9, 3)
+	rec := patternRec{}
+	if _, err := RunBatchedEpisodes(rec, rm, nil, 0.5); err == nil {
+		t.Error("empty batch accepted")
+	}
+	dog := occlusion.BuildDOG(0, rm.Traj, rm.AvatarRadius)
+	bad := occlusion.BuildDOG(1, rm.Traj, rm.AvatarRadius)
+	bad.Target = 99
+	if _, err := RunBatchedEpisodes(rec, rm, []*occlusion.DOG{dog, bad}, 0.5); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	short := occlusion.BuildDOG(1, rm.Traj, rm.AvatarRadius)
+	short.Frames = short.Frames[:1]
+	if _, err := RunBatchedEpisodes(rec, rm, []*occlusion.DOG{dog, short}, 0.5); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	empty := occlusion.BuildDOG(2, rm.Traj, rm.AvatarRadius)
+	empty.Frames = nil
+	if _, err := RunBatchedEpisodes(rec, rm, []*occlusion.DOG{empty}, 0.5); err == nil {
+		t.Error("empty episode accepted")
+	}
+}

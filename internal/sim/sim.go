@@ -130,6 +130,13 @@ func RunEpisodeTrace(rec Recommender, room *dataset.Room, dog *occlusion.DOG, be
 // episode RNG from (base seed, target), which keeps results bit-identical
 // to a sequential run regardless of scheduling (see TestEvaluateDeterminism).
 // Only StepTime varies between runs; it measures wall-clock.
+//
+// A recommender that also implements BatchRecommender is run through one
+// fused RunBatchedEpisodes call over all targets instead of the per-target
+// fan-out. The batched forward pass is pinned output-identical to the
+// sequential one (float64 path, see internal/core's batch tests), so scores
+// do not depend on which route a recommender takes; only StepTime reflects
+// the amortization.
 func Evaluate(recs []Recommender, room *dataset.Room, targets []int, beta float64) (map[string]metrics.Result, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("sim: no targets")
@@ -149,8 +156,28 @@ func Evaluate(recs []Recommender, room *dataset.Room, targets []int, beta float6
 	// error reported by ForEachErr is exactly the error a sequential
 	// recs-outer/targets-inner loop would have hit first.
 	results := make([]metrics.Result, len(recs)*len(targets))
+	// Batch-capable recommenders run fused first — one StepTargets per frame
+	// over the whole target set — then the rest fan out per episode.
+	batched := make([]bool, len(recs))
+	for r, rec := range recs {
+		br, ok := rec.(BatchRecommender)
+		if !ok {
+			continue
+		}
+		ers, err := RunBatchedEpisodes(br, room, dogs, beta)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s batched: %w", rec.Name(), err)
+		}
+		for i := range targets {
+			results[r*len(targets)+i] = ers[i].Result
+		}
+		batched[r] = true
+	}
 	err := parallel.ForEachErr(len(results), func(k int) error {
 		r, i := k/len(targets), k%len(targets)
+		if batched[r] {
+			return nil
+		}
 		er, err := RunEpisode(recs[r], room, dogs[i], beta)
 		if err != nil {
 			return fmt.Errorf("sim: %s on target %d: %w", recs[r].Name(), targets[i], err)

@@ -1,0 +1,346 @@
+package tensor
+
+import (
+	"fmt"
+
+	"after/internal/parallel"
+)
+
+// Batched (multi-target) kernels: the wide-RHS variants of SpMMInto and
+// MatMulInto behind `core.BatchSession`. K targets of one room are stacked
+// target-major into a single N×(K·d) matrix — column block k holds target
+// k's d feature columns — so one kernel invocation carries the whole batch
+// and the weight matrix streams through the cache once instead of K times.
+//
+// Occlusion graphs are per-target (arcs are cast from the target's eye), so
+// the batched SpMM applies a distinct CSR to each column block; passing the
+// same *CSR for every block degenerates to the classic shared-graph wide-RHS
+// SpMM. Per column block the accumulation order is exactly SpMMInto's /
+// MatMulInto's, which is what makes the batched forward pass bit-identical
+// to the sequential one (pinned in internal/core's batch property tests).
+
+// SpMMBatchInto computes, for each block b, graphs[b]·x[:, b·d:(b+1)·d] into
+// the same column block of dst, where d = x.Cols/len(graphs). Every graph
+// must be square with x.Rows rows. dst is fully overwritten. Rows are
+// processed in contiguous blocks over the worker pool when the total
+// multiply-add work clears spmmParallelCutoff; each block owns disjoint dst
+// rows, so the result is bit-identical for every worker count.
+func SpMMBatchInto(dst *Matrix, graphs []*CSR, x *Matrix) {
+	nb := len(graphs)
+	if nb == 0 || x.Cols%nb != 0 {
+		panic(fmt.Sprintf("tensor: SpMMBatchInto %d blocks over %d columns", nb, x.Cols))
+	}
+	d := x.Cols / nb
+	work := 0
+	for _, g := range graphs {
+		if g.Rows != x.Rows || g.Cols != x.Rows {
+			panic(fmt.Sprintf("tensor: SpMMBatchInto graph %dx%d for %d-row batch", g.Rows, g.Cols, x.Rows))
+		}
+		work += g.NNZ() * d
+	}
+	if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("tensor: SpMMBatchInto dst %dx%d for %dx%d result", dst.Rows, dst.Cols, x.Rows, x.Cols))
+	}
+	// Block-outer, row-inner: processing one graph's column block across all
+	// rows before moving to the next keeps that block's gathered x rows (a
+	// ~d·8·rows byte footprint) cache-resident, where a row-outer loop cycles
+	// the entire wide matrix once per row. Blocks write disjoint dst columns
+	// and each output element still accumulates its neighbors in ascending
+	// order, so the interchange is invisible in the bits.
+	rowRange := func(lo, hi int) {
+		for b, g := range graphs {
+			off := b * d
+			if g.Val == nil {
+				// Implicit-ones adjacency — the occlusion hot path. The width
+				// specializations accumulate each output column in register,
+				// in the same ascending-neighbor order as the generic loop,
+				// so results stay bit-identical; they also write (not add
+				// into) the output, making a zero pass redundant. On CPUs
+				// with AVX2 the vector kernels take over — still one
+				// ascending-order accumulator chain per column, so still
+				// bit-identical (see batch_asm_amd64.go).
+				switch {
+				case useAVX2 && d == 4:
+					spmmCSROnes4F64AVX2(dst.Data[lo*x.Cols+off:], g.RowPtr[lo:hi+1], g.Col, x.Data, hi-lo, x.Cols, off)
+				case useAVX2 && d == 8:
+					spmmCSROnes8F64AVX2(dst.Data[lo*x.Cols+off:], g.RowPtr[lo:hi+1], g.Col, x.Data, hi-lo, x.Cols, off)
+				case useAVX2 && d == 16:
+					spmmCSROnes16F64AVX2(dst.Data[lo*x.Cols+off:], g.RowPtr[lo:hi+1], g.Col, x.Data, hi-lo, x.Cols, off)
+				case d == 4:
+					for i := lo; i < hi; i++ {
+						spmmRowOnes4(dst.Data[i*x.Cols+off:], g.Col[g.RowPtr[i]:g.RowPtr[i+1]], x.Data, x.Cols, off)
+					}
+				case d == 8:
+					for i := lo; i < hi; i++ {
+						spmmRowOnes8(dst.Data[i*x.Cols+off:], g.Col[g.RowPtr[i]:g.RowPtr[i+1]], x.Data, x.Cols, off)
+					}
+				case d == 16:
+					for i := lo; i < hi; i++ {
+						spmmRowOnes16(dst.Data[i*x.Cols+off:], g.Col[g.RowPtr[i]:g.RowPtr[i+1]], x.Data, x.Cols, off)
+					}
+				default:
+					for i := lo; i < hi; i++ {
+						ob := dst.Data[i*x.Cols+off:][:d]
+						for j := range ob {
+							ob[j] = 0
+						}
+						for _, c := range g.Col[g.RowPtr[i]:g.RowPtr[i+1]] {
+							xb := x.Data[int(c)*x.Cols+off:][:d]
+							for j, xv := range xb {
+								ob[j] += xv
+							}
+						}
+					}
+				}
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				ob := dst.Data[i*x.Cols+off:][:d]
+				for j := range ob {
+					ob[j] = 0
+				}
+				for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+					v := g.at(k)
+					if v == 0 {
+						continue
+					}
+					xb := x.Data[int(g.Col[k])*x.Cols+off:][:d]
+					if v == 1 {
+						for j, xv := range xb {
+							ob[j] += xv
+						}
+						continue
+					}
+					for j, xv := range xb {
+						ob[j] += v * xv
+					}
+				}
+			}
+		}
+	}
+	if workers := parallel.Limit(); workers > 1 && work >= spmmParallelCutoff && x.Rows > 1 {
+		if workers > x.Rows {
+			workers = x.Rows
+		}
+		chunk := (x.Rows + workers - 1) / workers
+		blocks := (x.Rows + chunk - 1) / chunk
+		parallel.ForEachN(blocks, workers, func(b int) {
+			lo := b * chunk
+			hi := lo + chunk
+			if hi > x.Rows {
+				hi = x.Rows
+			}
+			rowRange(lo, hi)
+		})
+		return
+	}
+	rowRange(0, x.Rows)
+}
+
+// matMulBlocksParallelCutoff is the multiply-add count above which
+// MatMulBlocksInto fans rows out over the worker pool. Same rationale as
+// spmmParallelCutoff: the POSHGNN projections are tiny (din, dout ≤ 16), so
+// only genuinely wide batches on big rooms clear it.
+const matMulBlocksParallelCutoff = 1 << 18
+
+// MatMulBlocksInto applies one shared weight matrix w (din×dout) to every
+// column block of the target-major batch x (rows×(K·din)), writing the
+// rows×(K·dout) result into dst. Per block this replicates MatMulInto's ikj
+// loop order — including the mv==0 row skip — so each column block of the
+// result is bit-identical to MatMulInto on that block alone.
+func MatMulBlocksInto(dst, x, w *Matrix, blocks int) {
+	din, dout := w.Rows, w.Cols
+	if blocks <= 0 || x.Cols != blocks*din {
+		panic(fmt.Sprintf("tensor: MatMulBlocksInto %d blocks of %d over %d columns", blocks, din, x.Cols))
+	}
+	if dst.Rows != x.Rows || dst.Cols != blocks*dout {
+		panic(fmt.Sprintf("tensor: MatMulBlocksInto dst %dx%d for %dx%d result", dst.Rows, dst.Cols, x.Rows, blocks*dout))
+	}
+	rowRange := func(lo, hi int) {
+		// The AVX2 dout=8 kernel multiplies and adds with the scalar path's
+		// per-column rounding and order (no FMA), so it stays bit-identical;
+		// the dout=1 head keeps the scalar kernel — its single accumulator
+		// chain cannot vectorize without reassociating, and in float64 the
+		// order is contractual.
+		if useAVX2 && dout == 8 && hi > lo {
+			matMulBlocksF64AVX2(dst.Data[lo*dst.Cols:], x.Data[lo*x.Cols:], w.Data, hi-lo, blocks, din, x.Cols, dst.Cols)
+			return
+		}
+		for i := lo; i < hi; i++ {
+			xRow := x.Data[i*x.Cols : (i+1)*x.Cols]
+			outRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			switch dout {
+			// Register-accumulator specializations for the POSHGNN widths
+			// (hidden=8 and the scalar heads). Accumulation runs in the same
+			// ascending-k order with the same mv==0 skip as the generic loop,
+			// so outputs are bit-identical; keeping the partial sums out of
+			// memory roughly doubles throughput.
+			case 8:
+				for b := 0; b < blocks; b++ {
+					matMulRow8(outRow[b*8:(b+1)*8], xRow[b*din:(b+1)*din], w.Data)
+				}
+			case 1:
+				for b := 0; b < blocks; b++ {
+					outRow[b] = matMulRow1(xRow[b*din:(b+1)*din], w.Data)
+				}
+			default:
+				for j := range outRow {
+					outRow[j] = 0
+				}
+				for b := 0; b < blocks; b++ {
+					xb := xRow[b*din : (b+1)*din]
+					ob := outRow[b*dout : (b+1)*dout]
+					for k, mv := range xb {
+						if mv == 0 {
+							continue
+						}
+						wRow := w.Data[k*dout : (k+1)*dout]
+						for j, wv := range wRow {
+							ob[j] += mv * wv
+						}
+					}
+				}
+			}
+		}
+	}
+	work := x.Rows * x.Cols * dout
+	if workers := parallel.Limit(); workers > 1 && work >= matMulBlocksParallelCutoff && x.Rows > 1 {
+		if workers > x.Rows {
+			workers = x.Rows
+		}
+		chunk := (x.Rows + workers - 1) / workers
+		nblk := (x.Rows + chunk - 1) / chunk
+		parallel.ForEachN(nblk, workers, func(b int) {
+			lo := b * chunk
+			hi := lo + chunk
+			if hi > x.Rows {
+				hi = x.Rows
+			}
+			rowRange(lo, hi)
+		})
+		return
+	}
+	rowRange(0, x.Rows)
+}
+
+// spmmRowOnes4/8/16 accumulate Σ_{c∈cols} x[c, off:off+d] into ob for an
+// implicit-ones CSR row, holding every partial sum in a register. stride is
+// x's row stride (total batch width). Neighbor order — and therefore
+// floating-point accumulation order — matches the generic loop exactly.
+func spmmRowOnes4(ob []float64, cols []int32, x []float64, stride, off int) {
+	var a0, a1, a2, a3 float64
+	for _, c := range cols {
+		xb := x[int(c)*stride+off:]
+		xb = xb[:4:4]
+		a0 += xb[0]
+		a1 += xb[1]
+		a2 += xb[2]
+		a3 += xb[3]
+	}
+	ob[0], ob[1], ob[2], ob[3] = a0, a1, a2, a3
+}
+
+func spmmRowOnes8(ob []float64, cols []int32, x []float64, stride, off int) {
+	var a0, a1, a2, a3, a4, a5, a6, a7 float64
+	for _, c := range cols {
+		xb := x[int(c)*stride+off:]
+		xb = xb[:8:8]
+		a0 += xb[0]
+		a1 += xb[1]
+		a2 += xb[2]
+		a3 += xb[3]
+		a4 += xb[4]
+		a5 += xb[5]
+		a6 += xb[6]
+		a7 += xb[7]
+	}
+	ob[0], ob[1], ob[2], ob[3] = a0, a1, a2, a3
+	ob[4], ob[5], ob[6], ob[7] = a4, a5, a6, a7
+}
+
+func spmmRowOnes16(ob []float64, cols []int32, x []float64, stride, off int) {
+	var a0, a1, a2, a3, a4, a5, a6, a7 float64
+	var a8, a9, a10, a11, a12, a13, a14, a15 float64
+	for _, c := range cols {
+		xb := x[int(c)*stride+off:]
+		xb = xb[:16:16]
+		a0 += xb[0]
+		a1 += xb[1]
+		a2 += xb[2]
+		a3 += xb[3]
+		a4 += xb[4]
+		a5 += xb[5]
+		a6 += xb[6]
+		a7 += xb[7]
+		a8 += xb[8]
+		a9 += xb[9]
+		a10 += xb[10]
+		a11 += xb[11]
+		a12 += xb[12]
+		a13 += xb[13]
+		a14 += xb[14]
+		a15 += xb[15]
+	}
+	ob[0], ob[1], ob[2], ob[3] = a0, a1, a2, a3
+	ob[4], ob[5], ob[6], ob[7] = a4, a5, a6, a7
+	ob[8], ob[9], ob[10], ob[11] = a8, a9, a10, a11
+	ob[12], ob[13], ob[14], ob[15] = a12, a13, a14, a15
+}
+
+// matMulRow8 computes ob = xb·w for one row block with dout=8, partial sums
+// in registers, k ascending with the mv==0 skip — bit-identical to the
+// generic path.
+func matMulRow8(ob []float64, xb []float64, w []float64) {
+	var a0, a1, a2, a3, a4, a5, a6, a7 float64
+	for k, mv := range xb {
+		if mv == 0 {
+			continue
+		}
+		wr := w[k*8:]
+		wr = wr[:8:8]
+		a0 += mv * wr[0]
+		a1 += mv * wr[1]
+		a2 += mv * wr[2]
+		a3 += mv * wr[3]
+		a4 += mv * wr[4]
+		a5 += mv * wr[5]
+		a6 += mv * wr[6]
+		a7 += mv * wr[7]
+	}
+	ob[0], ob[1], ob[2], ob[3] = a0, a1, a2, a3
+	ob[4], ob[5], ob[6], ob[7] = a4, a5, a6, a7
+}
+
+// matMulRow1 is the dout=1 head: a plain register dot product with the same
+// skip and order.
+func matMulRow1(xb []float64, w []float64) float64 {
+	var acc float64
+	for k, mv := range xb {
+		if mv == 0 {
+			continue
+		}
+		acc += mv * w[k]
+	}
+	return acc
+}
+
+// AddReLUInto fuses the convolution epilogue dst[i] = max(dst[i]+a[i], 0)
+// over whole backing slices. The AVX2 path keeps the scalar branch's exact
+// semantics — negatives clamp to +0, while −0 and NaN sums pass through — so
+// it is bit-identical to the portable loop.
+func AddReLUInto(dst, a []float64) {
+	if len(dst) != len(a) {
+		panic(fmt.Sprintf("tensor: AddReLUInto %d vs %d elements", len(dst), len(a)))
+	}
+	if useAVX2 {
+		addReLUInto64AVX2(dst, a)
+		return
+	}
+	for i, v := range a {
+		s := dst[i] + v
+		if s < 0 {
+			s = 0
+		}
+		dst[i] = s
+	}
+}

@@ -1,0 +1,647 @@
+// AVX2 kernels for the batched inference path. See batch_asm_amd64.go for
+// the numeric contracts (float64: bit-identical to the Go kernels; float32:
+// FMA within the tolerance contract).
+
+#include "textflag.h"
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func matMulBlocksF64AVX2(dst, x, w []float64, rows, blocks, din, xStride, dstStride int)
+//
+// dst[i, b*8:(b+1)*8] = x[i, b*din:(b+1)*din] · w  for every row i and block
+// b, with w din×8 row-major. Rows are processed in pairs sharing the weight
+// loads; each output column accumulates round(mul)+round(add) in ascending-k
+// order, exactly like the scalar kernel.
+TEXT ·matMulBlocksF64AVX2(SB), NOSPLIT, $0-112
+	MOVQ dst_base+0(FP), R14
+	MOVQ x_base+24(FP), R13
+	MOVQ w_base+48(FP), R12
+	MOVQ rows+72(FP), R15
+	MOVQ din+88(FP), BX
+	MOVQ xStride+96(FP), R10
+	SHLQ $3, R10
+	MOVQ dstStride+104(FP), R11
+	SHLQ $3, R11
+
+pair64:
+	CMPQ R15, $2
+	JLT  tail64
+	MOVQ R13, SI
+	MOVQ R14, DI
+	MOVQ blocks+80(FP), CX
+
+blk64x2:
+	MOVQ   R12, R8
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	MOVQ   BX, R9
+
+k64x2:
+	VBROADCASTSD (SI), Y2
+	VBROADCASTSD (SI)(R10*1), Y5
+	VMOVUPD      (R8), Y6
+	VMOVUPD      32(R8), Y7
+	VMULPD       Y6, Y2, Y3
+	VADDPD       Y3, Y0, Y0
+	VMULPD       Y7, Y2, Y4
+	VADDPD       Y4, Y1, Y1
+	VMULPD       Y6, Y5, Y3
+	VADDPD       Y3, Y8, Y8
+	VMULPD       Y7, Y5, Y4
+	VADDPD       Y4, Y9, Y9
+	ADDQ         $8, SI
+	ADDQ         $64, R8
+	DECQ         R9
+	JNE          k64x2
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y8, (DI)(R11*1)
+	VMOVUPD Y9, 32(DI)(R11*1)
+	ADDQ    $64, DI
+	DECQ    CX
+	JNE     blk64x2
+
+	LEAQ (R13)(R10*2), R13
+	LEAQ (R14)(R11*2), R14
+	SUBQ $2, R15
+	JMP  pair64
+
+tail64:
+	TESTQ R15, R15
+	JE    done64
+	MOVQ  R13, SI
+	MOVQ  R14, DI
+	MOVQ  blocks+80(FP), CX
+
+blk64x1:
+	MOVQ   R12, R8
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ   BX, R9
+
+k64x1:
+	VBROADCASTSD (SI), Y2
+	VMULPD       (R8), Y2, Y3
+	VADDPD       Y3, Y0, Y0
+	VMULPD       32(R8), Y2, Y4
+	VADDPD       Y4, Y1, Y1
+	ADDQ         $8, SI
+	ADDQ         $64, R8
+	DECQ         R9
+	JNE          k64x1
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    $64, DI
+	DECQ    CX
+	JNE     blk64x1
+
+done64:
+	VZEROUPPER
+	RET
+
+// func matMulBlocksF32AVX2(dst, x, w []float32, rows, blocks, din, xStride, dstStride int)
+//
+// Float32 counterpart with dout=8 and fused multiply-adds; rows go four at a
+// time (four independent FMA chains saturate the FMA units), remainder rows
+// one at a time — per row the result is identical either way.
+TEXT ·matMulBlocksF32AVX2(SB), NOSPLIT, $0-112
+	MOVQ dst_base+0(FP), R14
+	MOVQ x_base+24(FP), R13
+	MOVQ w_base+48(FP), R12
+	MOVQ rows+72(FP), R15
+	MOVQ din+88(FP), BX
+	MOVQ xStride+96(FP), R10
+	SHLQ $2, R10
+	MOVQ dstStride+104(FP), R11
+	SHLQ $2, R11
+	LEAQ (R10)(R10*2), AX
+	LEAQ (R11)(R11*2), DX
+
+quad32:
+	CMPQ R15, $4
+	JLT  tail32
+	MOVQ R13, SI
+	MOVQ R14, DI
+	MOVQ blocks+80(FP), CX
+
+blk32x4:
+	MOVQ   R12, R8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y8, Y8, Y8
+	MOVQ   BX, R9
+
+k32x4:
+	VMOVUPS      (R8), Y3
+	VBROADCASTSS (SI), Y4
+	VBROADCASTSS (SI)(R10*1), Y5
+	VBROADCASTSS (SI)(R10*2), Y6
+	VBROADCASTSS (SI)(AX*1), Y7
+	VFMADD231PS  Y3, Y4, Y0
+	VFMADD231PS  Y3, Y5, Y1
+	VFMADD231PS  Y3, Y6, Y2
+	VFMADD231PS  Y3, Y7, Y8
+	ADDQ         $4, SI
+	ADDQ         $32, R8
+	DECQ         R9
+	JNE          k32x4
+
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, (DI)(R11*1)
+	VMOVUPS Y2, (DI)(R11*2)
+	VMOVUPS Y8, (DI)(DX*1)
+	ADDQ    $32, DI
+	DECQ    CX
+	JNE     blk32x4
+
+	LEAQ (R13)(R10*4), R13
+	LEAQ (R14)(R11*4), R14
+	SUBQ $4, R15
+	JMP  quad32
+
+tail32:
+	TESTQ R15, R15
+	JE    done32
+	MOVQ  R13, SI
+	MOVQ  R14, DI
+	MOVQ  blocks+80(FP), CX
+
+blk32x1:
+	MOVQ   R12, R8
+	VXORPS Y0, Y0, Y0
+	MOVQ   BX, R9
+
+k32x1:
+	VBROADCASTSS (SI), Y4
+	VFMADD231PS  (R8), Y4, Y0
+	ADDQ         $4, SI
+	ADDQ         $32, R8
+	DECQ         R9
+	JNE          k32x1
+
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, DI
+	DECQ    CX
+	JNE     blk32x1
+
+	ADDQ R10, R13
+	ADDQ R11, R14
+	DECQ R15
+	JMP  tail32
+
+done32:
+	VZEROUPPER
+	RET
+
+// func matMulHeadF32AVX2(dst, x, w []float32, rows, blocks, din, xStride, dstStride int)
+//
+// dout=1 head: dst[i, b] = x[i, b*din:(b+1)*din] · w with w a din-vector and
+// din a multiple of 8. Vector FMA over 8-lane chunks, horizontal sum at the
+// end — float32 tolerance contract only.
+TEXT ·matMulHeadF32AVX2(SB), NOSPLIT, $0-112
+	MOVQ dst_base+0(FP), R14
+	MOVQ x_base+24(FP), R13
+	MOVQ w_base+48(FP), R12
+	MOVQ rows+72(FP), R15
+	MOVQ din+88(FP), BX
+	SHRQ $3, BX
+	MOVQ xStride+96(FP), R10
+	SHLQ $2, R10
+	MOVQ dstStride+104(FP), R11
+	SHLQ $2, R11
+
+rowH:
+	TESTQ R15, R15
+	JE    doneH
+	MOVQ  R13, SI
+	MOVQ  R14, DI
+	MOVQ  blocks+80(FP), CX
+
+blkH:
+	MOVQ   R12, R8
+	VXORPS Y0, Y0, Y0
+	MOVQ   BX, R9
+
+chunkH:
+	VMOVUPS     (SI), Y1
+	VFMADD231PS (R8), Y1, Y0
+	ADDQ        $32, SI
+	ADDQ        $32, R8
+	DECQ        R9
+	JNE         chunkH
+
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VMOVSS       X0, (DI)
+	ADDQ         $4, DI
+	DECQ         CX
+	JNE          blkH
+
+	ADDQ R10, R13
+	ADDQ R11, R14
+	DECQ R15
+	JMP  rowH
+
+doneH:
+	VZEROUPPER
+	RET
+
+// spmmCSROnes*AVX2: full implicit-ones CSR pass — for each of rows rows r,
+// dst[r*stride : +d] = Σ_{c∈cols[rowptr[r]:rowptr[r+1]]} x[c*stride+off : +d].
+// The row loop lives in the kernel so the per-row call/dispatch overhead of
+// the old single-row variants is gone; within a row, neighbors accumulate in
+// slice order (ascending) with one vector accumulator chain per column
+// group — the same per-column accumulation order as the scalar kernels, so
+// the float64 versions stay bit-identical.
+
+// func spmmCSROnes4F64AVX2(dst []float64, rowptr, cols []int32, x []float64, rows, stride, off int)
+TEXT ·spmmCSROnes4F64AVX2(SB), NOSPLIT, $0-120
+	MOVQ    dst_base+0(FP), DI
+	MOVQ    rowptr_base+24(FP), R15
+	MOVQ    cols_base+48(FP), R9
+	MOVQ    x_base+72(FP), DX
+	MOVQ    rows+96(FP), R14
+	MOVQ    stride+104(FP), R8
+	MOVQ    off+112(FP), AX
+	LEAQ    (DX)(AX*8), DX
+	MOVQ    R8, R12
+	SHLQ    $3, R12
+	MOVLQSX (R15), R10
+	TESTQ   R14, R14
+	JE      done4F64
+
+row4F64:
+	MOVLQSX 4(R15), R11
+	ADDQ    $4, R15
+	MOVQ    R11, CX
+	SUBQ    R10, CX
+	LEAQ    (R9)(R10*4), SI
+	MOVQ    R11, R10
+	VXORPD  Y0, Y0, Y0
+	TESTQ   CX, CX
+	JE      store4F64
+
+n4F64:
+	MOVLQSX (SI), AX
+	IMULQ   R8, AX
+	VADDPD  (DX)(AX*8), Y0, Y0
+	ADDQ    $4, SI
+	DECQ    CX
+	JNE     n4F64
+
+store4F64:
+	VMOVUPD Y0, (DI)
+	ADDQ    R12, DI
+	DECQ    R14
+	JNE     row4F64
+
+done4F64:
+	VZEROUPPER
+	RET
+
+// func spmmCSROnes8F64AVX2(dst []float64, rowptr, cols []int32, x []float64, rows, stride, off int)
+TEXT ·spmmCSROnes8F64AVX2(SB), NOSPLIT, $0-120
+	MOVQ    dst_base+0(FP), DI
+	MOVQ    rowptr_base+24(FP), R15
+	MOVQ    cols_base+48(FP), R9
+	MOVQ    x_base+72(FP), DX
+	MOVQ    rows+96(FP), R14
+	MOVQ    stride+104(FP), R8
+	MOVQ    off+112(FP), AX
+	LEAQ    (DX)(AX*8), DX
+	MOVQ    R8, R12
+	SHLQ    $3, R12
+	MOVLQSX (R15), R10
+	TESTQ   R14, R14
+	JE      done8F64
+
+row8F64:
+	MOVLQSX 4(R15), R11
+	ADDQ    $4, R15
+	MOVQ    R11, CX
+	SUBQ    R10, CX
+	LEAQ    (R9)(R10*4), SI
+	MOVQ    R11, R10
+	VXORPD  Y0, Y0, Y0
+	VXORPD  Y1, Y1, Y1
+	TESTQ   CX, CX
+	JE      store8F64
+
+n8F64:
+	MOVLQSX (SI), AX
+	IMULQ   R8, AX
+	VADDPD  (DX)(AX*8), Y0, Y0
+	VADDPD  32(DX)(AX*8), Y1, Y1
+	ADDQ    $4, SI
+	DECQ    CX
+	JNE     n8F64
+
+store8F64:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    R12, DI
+	DECQ    R14
+	JNE     row8F64
+
+done8F64:
+	VZEROUPPER
+	RET
+
+// func spmmCSROnes16F64AVX2(dst []float64, rowptr, cols []int32, x []float64, rows, stride, off int)
+TEXT ·spmmCSROnes16F64AVX2(SB), NOSPLIT, $0-120
+	MOVQ    dst_base+0(FP), DI
+	MOVQ    rowptr_base+24(FP), R15
+	MOVQ    cols_base+48(FP), R9
+	MOVQ    x_base+72(FP), DX
+	MOVQ    rows+96(FP), R14
+	MOVQ    stride+104(FP), R8
+	MOVQ    off+112(FP), AX
+	LEAQ    (DX)(AX*8), DX
+	MOVQ    R8, R12
+	SHLQ    $3, R12
+	MOVLQSX (R15), R10
+	TESTQ   R14, R14
+	JE      done16F64
+
+row16F64:
+	MOVLQSX 4(R15), R11
+	ADDQ    $4, R15
+	MOVQ    R11, CX
+	SUBQ    R10, CX
+	LEAQ    (R9)(R10*4), SI
+	MOVQ    R11, R10
+	VXORPD  Y0, Y0, Y0
+	VXORPD  Y1, Y1, Y1
+	VXORPD  Y2, Y2, Y2
+	VXORPD  Y3, Y3, Y3
+	TESTQ   CX, CX
+	JE      store16F64
+
+n16F64:
+	MOVLQSX (SI), AX
+	IMULQ   R8, AX
+	VADDPD  (DX)(AX*8), Y0, Y0
+	VADDPD  32(DX)(AX*8), Y1, Y1
+	VADDPD  64(DX)(AX*8), Y2, Y2
+	VADDPD  96(DX)(AX*8), Y3, Y3
+	ADDQ    $4, SI
+	DECQ    CX
+	JNE     n16F64
+
+store16F64:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	ADDQ    R12, DI
+	DECQ    R14
+	JNE     row16F64
+
+done16F64:
+	VZEROUPPER
+	RET
+
+// func spmmCSROnes4F32AVX2(dst []float32, rowptr, cols []int32, x []float32, rows, stride, off int)
+TEXT ·spmmCSROnes4F32AVX2(SB), NOSPLIT, $0-120
+	MOVQ    dst_base+0(FP), DI
+	MOVQ    rowptr_base+24(FP), R15
+	MOVQ    cols_base+48(FP), R9
+	MOVQ    x_base+72(FP), DX
+	MOVQ    rows+96(FP), R14
+	MOVQ    stride+104(FP), R8
+	MOVQ    off+112(FP), AX
+	LEAQ    (DX)(AX*4), DX
+	MOVQ    R8, R12
+	SHLQ    $2, R12
+	MOVLQSX (R15), R10
+	TESTQ   R14, R14
+	JE      done4F32
+
+row4F32:
+	MOVLQSX 4(R15), R11
+	ADDQ    $4, R15
+	MOVQ    R11, CX
+	SUBQ    R10, CX
+	LEAQ    (R9)(R10*4), SI
+	MOVQ    R11, R10
+	VXORPS  X0, X0, X0
+	TESTQ   CX, CX
+	JE      store4F32
+
+n4F32:
+	MOVLQSX (SI), AX
+	IMULQ   R8, AX
+	VADDPS  (DX)(AX*4), X0, X0
+	ADDQ    $4, SI
+	DECQ    CX
+	JNE     n4F32
+
+store4F32:
+	VMOVUPS X0, (DI)
+	ADDQ    R12, DI
+	DECQ    R14
+	JNE     row4F32
+
+done4F32:
+	VZEROUPPER
+	RET
+
+// func spmmCSROnes8F32AVX2(dst []float32, rowptr, cols []int32, x []float32, rows, stride, off int)
+TEXT ·spmmCSROnes8F32AVX2(SB), NOSPLIT, $0-120
+	MOVQ    dst_base+0(FP), DI
+	MOVQ    rowptr_base+24(FP), R15
+	MOVQ    cols_base+48(FP), R9
+	MOVQ    x_base+72(FP), DX
+	MOVQ    rows+96(FP), R14
+	MOVQ    stride+104(FP), R8
+	MOVQ    off+112(FP), AX
+	LEAQ    (DX)(AX*4), DX
+	MOVQ    R8, R12
+	SHLQ    $2, R12
+	MOVLQSX (R15), R10
+	TESTQ   R14, R14
+	JE      done8F32
+
+row8F32:
+	MOVLQSX 4(R15), R11
+	ADDQ    $4, R15
+	MOVQ    R11, CX
+	SUBQ    R10, CX
+	LEAQ    (R9)(R10*4), SI
+	MOVQ    R11, R10
+	VXORPS  Y0, Y0, Y0
+	TESTQ   CX, CX
+	JE      store8F32
+
+n8F32:
+	MOVLQSX (SI), AX
+	IMULQ   R8, AX
+	VADDPS  (DX)(AX*4), Y0, Y0
+	ADDQ    $4, SI
+	DECQ    CX
+	JNE     n8F32
+
+store8F32:
+	VMOVUPS Y0, (DI)
+	ADDQ    R12, DI
+	DECQ    R14
+	JNE     row8F32
+
+done8F32:
+	VZEROUPPER
+	RET
+
+// func spmmCSROnes16F32AVX2(dst []float32, rowptr, cols []int32, x []float32, rows, stride, off int)
+TEXT ·spmmCSROnes16F32AVX2(SB), NOSPLIT, $0-120
+	MOVQ    dst_base+0(FP), DI
+	MOVQ    rowptr_base+24(FP), R15
+	MOVQ    cols_base+48(FP), R9
+	MOVQ    x_base+72(FP), DX
+	MOVQ    rows+96(FP), R14
+	MOVQ    stride+104(FP), R8
+	MOVQ    off+112(FP), AX
+	LEAQ    (DX)(AX*4), DX
+	MOVQ    R8, R12
+	SHLQ    $2, R12
+	MOVLQSX (R15), R10
+	TESTQ   R14, R14
+	JE      done16F32
+
+row16F32:
+	MOVLQSX 4(R15), R11
+	ADDQ    $4, R15
+	MOVQ    R11, CX
+	SUBQ    R10, CX
+	LEAQ    (R9)(R10*4), SI
+	MOVQ    R11, R10
+	VXORPS  Y0, Y0, Y0
+	VXORPS  Y1, Y1, Y1
+	TESTQ   CX, CX
+	JE      store16F32
+
+n16F32:
+	MOVLQSX (SI), AX
+	IMULQ   R8, AX
+	VADDPS  (DX)(AX*4), Y0, Y0
+	VADDPS  32(DX)(AX*4), Y1, Y1
+	ADDQ    $4, SI
+	DECQ    CX
+	JNE     n16F32
+
+store16F32:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ    R12, DI
+	DECQ    R14
+	JNE     row16F32
+
+done16F32:
+	VZEROUPPER
+	RET
+
+// addReLUInto*AVX2: dst[i] = max(dst[i]+a[i], 0). VMAXPD/VMAXPS with the sum
+// as the second source returns the sum on ±0 ties and NaN — exactly the
+// scalar `if s < 0 { s = 0 }` branch — so the float64 version is
+// bit-identical to the portable loop.
+
+// func addReLUInto64AVX2(dst, a []float64)
+TEXT ·addReLUInto64AVX2(SB), NOSPLIT, $0-48
+	MOVQ   dst_base+0(FP), DI
+	MOVQ   dst_len+8(FP), CX
+	MOVQ   a_base+24(FP), SI
+	VXORPD Y15, Y15, Y15
+	MOVQ   CX, BX
+	SHRQ   $2, BX
+	TESTQ  BX, BX
+	JE     tailReLU64
+
+chunkReLU64:
+	VMOVUPD (DI), Y0
+	VADDPD  (SI), Y0, Y0
+	VMAXPD  Y0, Y15, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	DECQ    BX
+	JNE     chunkReLU64
+
+tailReLU64:
+	ANDQ $3, CX
+	JE   doneReLU64
+
+tReLU64:
+	VMOVSD (DI), X0
+	VADDSD (SI), X0, X0
+	VMAXSD X0, X15, X0
+	VMOVSD X0, (DI)
+	ADDQ   $8, DI
+	ADDQ   $8, SI
+	DECQ   CX
+	JNE    tReLU64
+
+doneReLU64:
+	VZEROUPPER
+	RET
+
+// func addReLUInto32AVX2(dst, a []float32)
+TEXT ·addReLUInto32AVX2(SB), NOSPLIT, $0-48
+	MOVQ   dst_base+0(FP), DI
+	MOVQ   dst_len+8(FP), CX
+	MOVQ   a_base+24(FP), SI
+	VXORPS Y15, Y15, Y15
+	MOVQ   CX, BX
+	SHRQ   $3, BX
+	TESTQ  BX, BX
+	JE     tailReLU32
+
+chunkReLU32:
+	VMOVUPS (DI), Y0
+	VADDPS  (SI), Y0, Y0
+	VMAXPS  Y0, Y15, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	DECQ    BX
+	JNE     chunkReLU32
+
+tailReLU32:
+	ANDQ $7, CX
+	JE   doneReLU32
+
+tReLU32:
+	VMOVSS (DI), X0
+	VADDSS (SI), X0, X0
+	VMAXSS X0, X15, X0
+	VMOVSS X0, (DI)
+	ADDQ   $4, DI
+	ADDQ   $4, SI
+	DECQ   CX
+	JNE    tReLU32
+
+doneReLU32:
+	VZEROUPPER
+	RET

@@ -1,0 +1,31 @@
+package tensor
+
+// CPU feature detection for the AVX2 kernel dispatch, done once at package
+// init via raw CPUID (the stdlib's internal/cpu is unimportable and the repo
+// takes no external dependencies). The batched kernels need AVX2 *and* FMA
+// *and* OS-managed YMM state, so all three gate useAVX2 together; anything
+// less falls back to the portable Go kernels, which the asm ones are
+// property-tested against (float64 bit-identical, float32 within tolerance).
+var useAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const osxsave, avx, fma = 1 << 27, 1 << 28, 1 << 12
+	_, _, ecx1, _ := cpuidex(1, 0)
+	if ecx1&osxsave == 0 || ecx1&avx == 0 || ecx1&fma == 0 {
+		return false
+	}
+	if xcr0, _ := xgetbv0(); xcr0&0x6 != 0x6 { // XMM+YMM state enabled by the OS
+		return false
+	}
+	const avx2 = 1 << 5
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&avx2 != 0
+}
+
+// cpuidex and xgetbv0 are implemented in batch_amd64.s.
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)

@@ -1,0 +1,385 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+
+	"after/internal/parallel"
+)
+
+// Matrix32 is the float32 counterpart of Matrix, used only by the inference
+// fast path (core.BatchSession with Float32 set): serving sessions trade the
+// float64 oracle's last bits for halved memory traffic. Training, the Table
+// II gate, and every default inference path stay on float64 — Matrix32 has
+// no autodiff and deliberately offers only the handful of kernels the
+// batched forward pass needs.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix32 allocates a zero rows×cols float32 matrix.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// ToMatrix32 converts m by rounding every element to float32 — the one-time
+// weight conversion a float32 session performs at start.
+func ToMatrix32(m *Matrix) *Matrix32 {
+	out := NewMatrix32(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = float32(v)
+	}
+	return out
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Workspace32 pools Matrix32 scratch buffers, mirroring Workspace for the
+// float32 inference path. Safe for concurrent use.
+type Workspace32 struct {
+	pools sync.Map // element count -> *sync.Pool of *Matrix32
+}
+
+// NewWorkspace32 returns an empty float32 workspace.
+func NewWorkspace32() *Workspace32 { return &Workspace32{} }
+
+var defaultWorkspace32 = NewWorkspace32()
+
+// Scratch32 returns the shared default float32 workspace.
+func Scratch32() *Workspace32 { return defaultWorkspace32 }
+
+func (w *Workspace32) pool(n int) *sync.Pool {
+	if p, ok := w.pools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := w.pools.LoadOrStore(n, &sync.Pool{New: func() any {
+		return &Matrix32{Data: make([]float32, n)}
+	}})
+	return p.(*sync.Pool)
+}
+
+// Get returns a rows×cols matrix with undefined contents.
+func (w *Workspace32) Get(rows, cols int) *Matrix32 {
+	if rows <= 0 || cols <= 0 {
+		panic("tensor: Workspace32.Get with non-positive shape")
+	}
+	m := w.pool(rows * cols).Get().(*Matrix32)
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// Put returns m to the workspace. m must not be used afterwards.
+func (w *Workspace32) Put(m *Matrix32) {
+	if m == nil {
+		return
+	}
+	w.pool(len(m.Data)).Put(m)
+}
+
+// SpMMBatchInto32 is the float32 SpMMBatchInto: graphs[b] applies to column
+// block b of x. The CSR values stay float64 (adjacencies are implicit-ones
+// patterns, so no precision is lost on the graph side); only the dense
+// operand and accumulator are float32.
+func SpMMBatchInto32(dst *Matrix32, graphs []*CSR, x *Matrix32) {
+	nb := len(graphs)
+	if nb == 0 || x.Cols%nb != 0 {
+		panic(fmt.Sprintf("tensor: SpMMBatchInto32 %d blocks over %d columns", nb, x.Cols))
+	}
+	d := x.Cols / nb
+	work := 0
+	for _, g := range graphs {
+		if g.Rows != x.Rows || g.Cols != x.Rows {
+			panic(fmt.Sprintf("tensor: SpMMBatchInto32 graph %dx%d for %d-row batch", g.Rows, g.Cols, x.Rows))
+		}
+		work += g.NNZ() * d
+	}
+	if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("tensor: SpMMBatchInto32 dst %dx%d for %dx%d result", dst.Rows, dst.Cols, x.Rows, x.Cols))
+	}
+	// Block-outer, row-inner with register accumulators — same structure and
+	// rationale as SpMMBatchInto (see there); float32 halves the bytes per
+	// gathered row on top.
+	rowRange := func(lo, hi int) {
+		for b, g := range graphs {
+			off := b * d
+			if g.Val == nil {
+				switch {
+				case useAVX2 && d == 4:
+					spmmCSROnes4F32AVX2(dst.Data[lo*x.Cols+off:], g.RowPtr[lo:hi+1], g.Col, x.Data, hi-lo, x.Cols, off)
+				case useAVX2 && d == 8:
+					spmmCSROnes8F32AVX2(dst.Data[lo*x.Cols+off:], g.RowPtr[lo:hi+1], g.Col, x.Data, hi-lo, x.Cols, off)
+				case useAVX2 && d == 16:
+					spmmCSROnes16F32AVX2(dst.Data[lo*x.Cols+off:], g.RowPtr[lo:hi+1], g.Col, x.Data, hi-lo, x.Cols, off)
+				case d == 1:
+					for i := lo; i < hi; i++ {
+						var acc float32
+						for _, c := range g.Col[g.RowPtr[i]:g.RowPtr[i+1]] {
+							acc += x.Data[int(c)*x.Cols+off]
+						}
+						dst.Data[i*x.Cols+off] = acc
+					}
+				case d == 4:
+					for i := lo; i < hi; i++ {
+						spmmRowOnes4f32(dst.Data[i*x.Cols+off:], g.Col[g.RowPtr[i]:g.RowPtr[i+1]], x.Data, x.Cols, off)
+					}
+				case d == 8:
+					for i := lo; i < hi; i++ {
+						spmmRowOnes8f32(dst.Data[i*x.Cols+off:], g.Col[g.RowPtr[i]:g.RowPtr[i+1]], x.Data, x.Cols, off)
+					}
+				case d == 16:
+					for i := lo; i < hi; i++ {
+						spmmRowOnes16f32(dst.Data[i*x.Cols+off:], g.Col[g.RowPtr[i]:g.RowPtr[i+1]], x.Data, x.Cols, off)
+					}
+				default:
+					for i := lo; i < hi; i++ {
+						ob := dst.Data[i*x.Cols+off:][:d]
+						for j := range ob {
+							ob[j] = 0
+						}
+						for _, c := range g.Col[g.RowPtr[i]:g.RowPtr[i+1]] {
+							xb := x.Data[int(c)*x.Cols+off:][:d]
+							for j, xv := range xb {
+								ob[j] += xv
+							}
+						}
+					}
+				}
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				ob := dst.Data[i*x.Cols+off:][:d]
+				for j := range ob {
+					ob[j] = 0
+				}
+				for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+					v := g.at(k)
+					if v == 0 {
+						continue
+					}
+					xb := x.Data[int(g.Col[k])*x.Cols+off:][:d]
+					if v == 1 {
+						for j, xv := range xb {
+							ob[j] += xv
+						}
+						continue
+					}
+					v32 := float32(v)
+					for j, xv := range xb {
+						ob[j] += v32 * xv
+					}
+				}
+			}
+		}
+	}
+	if workers := parallel.Limit(); workers > 1 && work >= spmmParallelCutoff && x.Rows > 1 {
+		if workers > x.Rows {
+			workers = x.Rows
+		}
+		chunk := (x.Rows + workers - 1) / workers
+		blocks := (x.Rows + chunk - 1) / chunk
+		parallel.ForEachN(blocks, workers, func(b int) {
+			lo := b * chunk
+			hi := lo + chunk
+			if hi > x.Rows {
+				hi = x.Rows
+			}
+			rowRange(lo, hi)
+		})
+		return
+	}
+	rowRange(0, x.Rows)
+}
+
+// MatMulBlocksInto32 is the float32 MatMulBlocksInto: one shared din×dout
+// weight applied to every column block of the target-major batch.
+func MatMulBlocksInto32(dst, x, w *Matrix32, blocks int) {
+	din, dout := w.Rows, w.Cols
+	if blocks <= 0 || x.Cols != blocks*din {
+		panic(fmt.Sprintf("tensor: MatMulBlocksInto32 %d blocks of %d over %d columns", blocks, din, x.Cols))
+	}
+	if dst.Rows != x.Rows || dst.Cols != blocks*dout {
+		panic(fmt.Sprintf("tensor: MatMulBlocksInto32 dst %dx%d for %dx%d result", dst.Rows, dst.Cols, x.Rows, blocks*dout))
+	}
+	rowRange := func(lo, hi int) {
+		// The AVX2 kernels use fused multiply-adds (one rounding per
+		// multiply-add instead of two), which sits within the float32
+		// tolerance contract — and closer to the float64 oracle.
+		if useAVX2 && hi > lo {
+			switch {
+			case dout == 8:
+				matMulBlocksF32AVX2(dst.Data[lo*dst.Cols:], x.Data[lo*x.Cols:], w.Data, hi-lo, blocks, din, x.Cols, dst.Cols)
+				return
+			case dout == 1 && din%8 == 0:
+				matMulHeadF32AVX2(dst.Data[lo*dst.Cols:], x.Data[lo*x.Cols:], w.Data, hi-lo, blocks, din, x.Cols, dst.Cols)
+				return
+			}
+		}
+		for i := lo; i < hi; i++ {
+			xRow := x.Data[i*x.Cols : (i+1)*x.Cols]
+			outRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			switch dout {
+			case 8:
+				for b := 0; b < blocks; b++ {
+					matMulRow8f32(outRow[b*8:(b+1)*8], xRow[b*din:(b+1)*din], w.Data)
+				}
+			case 1:
+				for b := 0; b < blocks; b++ {
+					outRow[b] = matMulRow1f32(xRow[b*din:(b+1)*din], w.Data)
+				}
+			default:
+				for j := range outRow {
+					outRow[j] = 0
+				}
+				for b := 0; b < blocks; b++ {
+					xb := xRow[b*din : (b+1)*din]
+					ob := outRow[b*dout : (b+1)*dout]
+					for k, mv := range xb {
+						if mv == 0 {
+							continue
+						}
+						wRow := w.Data[k*dout : (k+1)*dout]
+						for j, wv := range wRow {
+							ob[j] += mv * wv
+						}
+					}
+				}
+			}
+		}
+	}
+	work := x.Rows * x.Cols * dout
+	if workers := parallel.Limit(); workers > 1 && work >= matMulBlocksParallelCutoff && x.Rows > 1 {
+		if workers > x.Rows {
+			workers = x.Rows
+		}
+		chunk := (x.Rows + workers - 1) / workers
+		nblk := (x.Rows + chunk - 1) / chunk
+		parallel.ForEachN(nblk, workers, func(b int) {
+			lo := b * chunk
+			hi := lo + chunk
+			if hi > x.Rows {
+				hi = x.Rows
+			}
+			rowRange(lo, hi)
+		})
+		return
+	}
+	rowRange(0, x.Rows)
+}
+
+// Float32 mirrors of the register-accumulator row kernels in batch.go; same
+// ordering guarantees, single-precision arithmetic.
+func spmmRowOnes4f32(ob []float32, cols []int32, x []float32, stride, off int) {
+	var a0, a1, a2, a3 float32
+	for _, c := range cols {
+		xb := x[int(c)*stride+off:]
+		xb = xb[:4:4]
+		a0 += xb[0]
+		a1 += xb[1]
+		a2 += xb[2]
+		a3 += xb[3]
+	}
+	ob[0], ob[1], ob[2], ob[3] = a0, a1, a2, a3
+}
+
+func spmmRowOnes8f32(ob []float32, cols []int32, x []float32, stride, off int) {
+	var a0, a1, a2, a3, a4, a5, a6, a7 float32
+	for _, c := range cols {
+		xb := x[int(c)*stride+off:]
+		xb = xb[:8:8]
+		a0 += xb[0]
+		a1 += xb[1]
+		a2 += xb[2]
+		a3 += xb[3]
+		a4 += xb[4]
+		a5 += xb[5]
+		a6 += xb[6]
+		a7 += xb[7]
+	}
+	ob[0], ob[1], ob[2], ob[3] = a0, a1, a2, a3
+	ob[4], ob[5], ob[6], ob[7] = a4, a5, a6, a7
+}
+
+func spmmRowOnes16f32(ob []float32, cols []int32, x []float32, stride, off int) {
+	var a0, a1, a2, a3, a4, a5, a6, a7 float32
+	var a8, a9, a10, a11, a12, a13, a14, a15 float32
+	for _, c := range cols {
+		xb := x[int(c)*stride+off:]
+		xb = xb[:16:16]
+		a0 += xb[0]
+		a1 += xb[1]
+		a2 += xb[2]
+		a3 += xb[3]
+		a4 += xb[4]
+		a5 += xb[5]
+		a6 += xb[6]
+		a7 += xb[7]
+		a8 += xb[8]
+		a9 += xb[9]
+		a10 += xb[10]
+		a11 += xb[11]
+		a12 += xb[12]
+		a13 += xb[13]
+		a14 += xb[14]
+		a15 += xb[15]
+	}
+	ob[0], ob[1], ob[2], ob[3] = a0, a1, a2, a3
+	ob[4], ob[5], ob[6], ob[7] = a4, a5, a6, a7
+	ob[8], ob[9], ob[10], ob[11] = a8, a9, a10, a11
+	ob[12], ob[13], ob[14], ob[15] = a12, a13, a14, a15
+}
+
+func matMulRow8f32(ob []float32, xb []float32, w []float32) {
+	var a0, a1, a2, a3, a4, a5, a6, a7 float32
+	for k, mv := range xb {
+		if mv == 0 {
+			continue
+		}
+		wr := w[k*8:]
+		wr = wr[:8:8]
+		a0 += mv * wr[0]
+		a1 += mv * wr[1]
+		a2 += mv * wr[2]
+		a3 += mv * wr[3]
+		a4 += mv * wr[4]
+		a5 += mv * wr[5]
+		a6 += mv * wr[6]
+		a7 += mv * wr[7]
+	}
+	ob[0], ob[1], ob[2], ob[3] = a0, a1, a2, a3
+	ob[4], ob[5], ob[6], ob[7] = a4, a5, a6, a7
+}
+
+func matMulRow1f32(xb []float32, w []float32) float32 {
+	var acc float32
+	for k, mv := range xb {
+		if mv == 0 {
+			continue
+		}
+		acc += mv * w[k]
+	}
+	return acc
+}
+
+// AddReLUInto32 is the float32 AddReLUInto: dst[i] = max(dst[i]+a[i], 0)
+// with the same clamp semantics, vectorized under AVX2.
+func AddReLUInto32(dst, a []float32) {
+	if len(dst) != len(a) {
+		panic(fmt.Sprintf("tensor: AddReLUInto32 %d vs %d elements", len(dst), len(a)))
+	}
+	if useAVX2 {
+		addReLUInto32AVX2(dst, a)
+		return
+	}
+	for i, v := range a {
+		s := dst[i] + v
+		if s < 0 {
+			s = 0
+		}
+		dst[i] = s
+	}
+}
