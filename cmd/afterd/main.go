@@ -15,7 +15,15 @@
 // -chaos-rate wraps the primary in the fault injector (transient panics and
 // latency spikes), which exercises the resilience chain in staging exactly
 // as the chaos sweep does offline. -debug-addr exposes the live registry
-// (/metrics, /debug/pprof, /quality) while serving.
+// (/metrics, /debug/pprof, /quality, /slo) while serving.
+//
+// Per-request telemetry: -trace records request-scoped spans (ingress →
+// queue → fused batch → kernel phases, linked across goroutines) and writes
+// Chrome trace JSON at drain; -access-log writes one tail-sampled wide-event
+// JSONL record per request with size-capped rotation and an atomic final
+// flush during drain; /slo reports the error budget and multi-window
+// burn-rate alert state for the availability objective set by
+// -slo-objective.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"after/internal/exp"
 	"after/internal/obs"
 	"after/internal/obs/quality"
+	"after/internal/obs/wide"
 	"after/internal/parallel"
 	"after/internal/serve"
 	"after/internal/sim"
@@ -60,11 +69,18 @@ func realMain() int {
 		snapshotDir = flag.String("snapshot-dir", ".", "directory for drain-time OBS_serve.json / QUALITY_serve.json ('' disables)")
 		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "bound on the SIGTERM drain (flush + teardown)")
 		obsOn       = flag.Bool("obs", true, "record observability and quality telemetry")
+		tracePath   = flag.String("trace", "", "record request spans and write Chrome trace JSON here at drain")
+		accessLog   = flag.String("access-log", "", "write one wide-event JSONL record per request here (tail-sampled, size-capped rotation)")
+		accessN     = flag.Int("access-sample", wide.DefaultSampleN, "keep 1-in-N healthy requests in the access log (shed/degraded/slow always kept; <0 keeps all)")
+		sloObj      = flag.Float64("slo-objective", 0.99, "availability objective for the error-budget tracker behind /slo")
 	)
 	flag.Parse()
 	parallel.SetLimit(*workers)
 	obs.SetEnabled(*obsOn)
 	quality.SetEnabled(*obsOn)
+	if *tracePath != "" {
+		obs.SetTracing(true)
+	}
 
 	var rec sim.Recommender
 	switch *primary {
@@ -95,6 +111,17 @@ func realMain() int {
 		fmt.Printf("afterd: primary wrapped in fault injector at rate %.2f\n", *chaosRate)
 	}
 
+	var access *wide.Writer
+	if *accessLog != "" {
+		var err error
+		access, err = wide.Open(*accessLog, wide.Options{SampleN: *accessN})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "afterd: -access-log: %v\n", err)
+			return 1
+		}
+		fmt.Printf("afterd: access log at %s (1-in-%d healthy sampling, tail always kept)\n", *accessLog, *accessN)
+	}
+
 	srv := serve.New(serve.Config{
 		Primary:         rec,
 		Fallbacks:       []sim.Recommender{baselines.Nearest{}},
@@ -106,6 +133,9 @@ func realMain() int {
 		Concurrency:     *concurrency,
 		RetryAfter:      *retryAfter,
 		SnapshotDir:     *snapshotDir,
+		AccessLog:       access,
+		Float32:         *f32,
+		SLOObjective:    *sloObj,
 	})
 	bound, err := srv.Start(*addr)
 	if err != nil {
@@ -116,6 +146,7 @@ func realMain() int {
 		bound, *deadline, *maxBatch, *batchWindow, *roomQueue, *globalQueue)
 
 	if *debugAddr != "" {
+		obs.HandleDebug("/slo", srv.SLO().Handler())
 		dbg, err := obs.ServeDebug(*debugAddr, obs.Default())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "afterd: -debug-addr: %v\n", err)
@@ -138,6 +169,14 @@ func realMain() int {
 	if err := srv.Drain(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "afterd: drain: %v\n", err)
 		return 1
+	}
+	if *tracePath != "" {
+		obs.SetTracing(false)
+		if err := obs.WriteTrace(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "afterd: -trace: %v\n", err)
+			return 1
+		}
+		fmt.Printf("afterd: wrote trace to %s\n", *tracePath)
 	}
 	fmt.Println("afterd: drained cleanly")
 	return 0

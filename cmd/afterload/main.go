@@ -74,6 +74,13 @@ func realMain() int {
 		rep.AcceptedP50Ms, rep.AcceptedP95Ms, rep.AcceptedP99Ms, rep.AcceptedMaxMs, rep.Violations)
 	fmt.Printf("  degraded %d  served-by %v  frames %d (%d faulty)\n",
 		rep.Degraded, rep.ServedBy, rep.FramesSent, rep.FramesFaulty)
+	if rep.WorstRequestID != "" {
+		fmt.Printf("  worst accepted request %s (%.1fms) — grep it in the server's access log / trace\n",
+			rep.WorstRequestID, rep.WorstLatencyMs)
+	}
+	if rep.FirstShedRequestID != "" {
+		fmt.Printf("  first shed request %s — where admission bounds first bit\n", rep.FirstShedRequestID)
+	}
 
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

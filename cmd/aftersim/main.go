@@ -448,6 +448,13 @@ func runServe(o exp.Options) (string, error) {
 		if row.Accepted > 0 && row.AcceptedP99Ms > slo {
 			fails = append(fails, fmt.Sprintf("%s: accepted p99 %.1fms exceeds SLO %.1fms", tag, row.AcceptedP99Ms, slo))
 		}
+		// Overload rows are SUPPOSED to burn budget (shedding is the design);
+		// a fast-burn alert on a row inside capacity means the server is
+		// failing traffic it should comfortably serve.
+		if !row.Overload && row.SLOFastBurn {
+			fails = append(fails, fmt.Sprintf("%s: fast-burn alert (5m burn %.1f, 1h burn %.1f) on a non-overload row",
+				tag, row.SLOBurn5m, row.SLOBurn1h))
+		}
 	}
 	if len(fails) == 0 {
 		return out + "\nserve gate: all rows within SLO (sheds explicit, Retry-After everywhere, p99 bounded)", nil

@@ -23,6 +23,7 @@ import (
 	"after/internal/crowd"
 	"after/internal/dataset"
 	"after/internal/geom"
+	"after/internal/obs"
 	"after/internal/occlusion"
 	"after/internal/resilience"
 	"after/internal/sim"
@@ -266,6 +267,14 @@ func (s *faultyBatchStepper) StepTargets(t int, targets []int, frames []*occlusi
 		panic("chaos: injected batch stepper panic")
 	}
 	return s.inner.StepTargets(t, targets, frames)
+}
+
+// SetTraceParent forwards sim.TraceCarrier through the fault wrapper so the
+// serving layer's batch span still adopts the real session's forward pass.
+func (s *faultyBatchStepper) SetTraceParent(parent obs.SpanID) {
+	if tc, ok := s.inner.(sim.TraceCarrier); ok {
+		tc.SetTraceParent(parent)
+	}
 }
 
 func roll(rng *rand.Rand, p float64) bool {

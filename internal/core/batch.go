@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"after/internal/dataset"
 	"after/internal/obs"
@@ -86,6 +87,20 @@ type BatchSession struct {
 	states map[int]*batchState
 	adjs   []*tensor.CSR // reused per-step graph list (len = batch K)
 	w32    *weights32    // nil until the Float32 path first runs
+
+	// traceParent parents the next batch.step span (atomic: serving workers
+	// may set it concurrently with another worker's StepTargets). curSpan is
+	// the in-flight batch.step span id the phase spans hang off; it is only
+	// touched under mu.
+	traceParent atomic.Uint64
+	curSpan     obs.SpanID
+}
+
+// SetTraceParent parents subsequent StepTargets spans (batch.step and its
+// mia/pdr/lwp/decode phases) under parent, implementing sim.TraceCarrier so
+// the serving layer's batch span adopts the fused forward pass.
+func (b *BatchSession) SetTraceParent(parent obs.SpanID) {
+	b.traceParent.Store(uint64(parent))
 }
 
 // StartBatchSession begins batched inference over room. Every target of the
@@ -156,6 +171,9 @@ func (b *BatchSession) StepTargets(t int, targets []int, frames []*occlusion.Sta
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	sp := obs.BeginChild("batch.step", obs.SpanID(b.traceParent.Load()))
+	b.curSpan = sp.ID()
+	defer sp.End()
 	if b.model.denseAdj {
 		// Dense-adjacency compat: the bench/test knob has no batched kernel,
 		// so fall back to per-target sequential Sessions. Also serves as the
@@ -214,7 +232,7 @@ func (b *BatchSession) step64(t int, targets []int, frames []*occlusion.StaticGr
 	useLWP := m.cfg.UseLWP
 	ws := tensor.Scratch()
 
-	spMIA := obs.Begin("mia")
+	spMIA := obs.BeginChild("mia", b.curSpan)
 	if cap(b.adjs) < bk {
 		b.adjs = make([]*tensor.CSR, bk)
 	}
@@ -234,7 +252,7 @@ func (b *BatchSession) step64(t int, targets []int, frames []*occlusion.StaticGr
 	}
 	spMIA.End()
 
-	spPDR := obs.Begin("pdr")
+	spPDR := obs.BeginChild("pdr", b.curSpan)
 	h := ws.Get(n, bk*hid)
 	convWide(h, x, adjs, m.pdr1.M1.Value, m.pdr1.M2.Value, actReLU)
 	rt := ws.Get(n, bk)
@@ -247,7 +265,7 @@ func (b *BatchSession) step64(t int, targets []int, frames []*occlusion.StaticGr
 			r.Data[i] = mv * rt.Data[i]
 		}
 	} else {
-		spLWP := obs.Begin("lwp")
+		spLWP := obs.BeginChild("lwp", b.curSpan)
 		lwpWidth := featureDim + deltaDim + hid + 1
 		lwpIn := ws.Get(n, bk*lwpWidth)
 		// Assemble [x̂ ‖ Δ ‖ h_{t-1} ‖ r_{t-1}] per column block — the wide
@@ -282,7 +300,7 @@ func (b *BatchSession) step64(t int, targets []int, frames []*occlusion.StaticGr
 	}
 
 	// Scatter recurrent state back and decode each target's column.
-	spDecode := obs.Begin("decode")
+	spDecode := obs.BeginChild("decode", b.curSpan)
 	out := make([][]bool, bk)
 	col := ws.Get(n, 1)
 	for k, target := range targets {
@@ -484,7 +502,7 @@ func (b *BatchSession) step32(t int, targets []int, frames []*occlusion.StaticGr
 	useLWP := m.cfg.UseLWP
 	ws := tensor.Scratch32()
 
-	spMIA := obs.Begin("mia")
+	spMIA := obs.BeginChild("mia", b.curSpan)
 	if cap(b.adjs) < bk {
 		b.adjs = make([]*tensor.CSR, bk)
 	}
@@ -504,7 +522,7 @@ func (b *BatchSession) step32(t int, targets []int, frames []*occlusion.StaticGr
 	}
 	spMIA.End()
 
-	spPDR := obs.Begin("pdr")
+	spPDR := obs.BeginChild("pdr", b.curSpan)
 	h := ws.Get(n, bk*hid)
 	convWide32(h, x, adjs, b.w32.pdr1M1, b.w32.pdr1M2, actReLU)
 	rt := ws.Get(n, bk)
@@ -517,7 +535,7 @@ func (b *BatchSession) step32(t int, targets []int, frames []*occlusion.StaticGr
 			r.Data[i] = mv * rt.Data[i]
 		}
 	} else {
-		spLWP := obs.Begin("lwp")
+		spLWP := obs.BeginChild("lwp", b.curSpan)
 		lwpWidth := featureDim + deltaDim + hid + 1
 		lwpIn := ws.Get(n, bk*lwpWidth)
 		for i := 0; i < n; i++ {
@@ -547,7 +565,7 @@ func (b *BatchSession) step32(t int, targets []int, frames []*occlusion.StaticGr
 		spLWP.End()
 	}
 
-	spDecode := obs.Begin("decode")
+	spDecode := obs.BeginChild("decode", b.curSpan)
 	out := make([][]bool, bk)
 	col := tensor.Scratch().Get(n, 1)
 	for k, target := range targets {

@@ -84,6 +84,19 @@ type ServeRow struct {
 	DegradedRate  float64 `json:"degraded_rate"`
 	FallbackShare float64 `json:"fallback_share"`
 	Violations    int64   `json:"violations"`
+
+	// Server-side error-budget accounting for this row alone (the tracker is
+	// reset between rows): good/bad request counts under the availability
+	// objective, the 5m/1h burn rates at row end, the fraction of the row's
+	// error budget consumed, and whether the multi-window burn alerts fired.
+	// The fixed-rate row's SLOFastBurn is a CI gate — see .github/workflows.
+	SLOGood           int64   `json:"slo_good"`
+	SLOBad            int64   `json:"slo_bad"`
+	SLOBurn5m         float64 `json:"slo_burn_5m"`
+	SLOBurn1h         float64 `json:"slo_burn_1h"`
+	SLOBudgetConsumed float64 `json:"slo_budget_consumed"`
+	SLOFastBurn       bool    `json:"slo_fast_burn"`
+	SLOSlowBurn       bool    `json:"slo_slow_burn"`
 }
 
 // ServeReport is the -exp serve artifact (BENCH_serve.json).
@@ -215,6 +228,10 @@ func RunServe(o Options) (*ServeReport, error) {
 		if spec.rps > 0 {
 			rps = spec.rps
 		}
+		// Each row gets its own error budget: without the reset, the burn
+		// windows (5m/1h) span the whole sweep and the overload rows' sheds
+		// would put the clean rows into alert.
+		srv.SLO().Reset()
 		lr, err := load.Run(load.Config{
 			BaseURL:    base,
 			Pattern:    spec.pattern,
@@ -261,6 +278,14 @@ func RunServe(o Options) (*ServeReport, error) {
 			}
 			row.FallbackShare = float64(fallback) / float64(lr.Accepted)
 		}
+		snap := srv.SLO().Snapshot()
+		row.SLOGood = snap.Good
+		row.SLOBad = snap.Bad
+		row.SLOBurn5m = snap.Burn5m
+		row.SLOBurn1h = snap.Burn1h
+		row.SLOBudgetConsumed = snap.BudgetConsumed
+		row.SLOFastBurn = snap.FastBurn
+		row.SLOSlowBurn = snap.SlowBurn
 		report.Rows = append(report.Rows, row)
 	}
 	report.Notes = append(report.Notes,
@@ -331,6 +356,13 @@ type pacedBatchStepper struct {
 func (p pacedBatchStepper) StepTargets(t int, targets []int, frames []*occlusion.StaticGraph) [][]bool {
 	time.Sleep(p.floor)
 	return p.inner.StepTargets(t, targets, frames)
+}
+
+// SetTraceParent forwards sim.TraceCarrier through the pacing wrapper.
+func (p pacedBatchStepper) SetTraceParent(parent obs.SpanID) {
+	if tc, ok := p.inner.(sim.TraceCarrier); ok {
+		tc.SetTraceParent(parent)
+	}
 }
 
 // calibrate measures the server's end-to-end throughput with a short

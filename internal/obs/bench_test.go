@@ -142,6 +142,8 @@ func TestDisabledOverheadBudget(t *testing.T) {
 		{"counter", func() { c.Inc() }},
 		{"histogram", func() { h.ObserveNs(7) }},
 		{"span", func() { tr.Begin("budget").End() }},
+		{"child-span", func() { tr.BeginChild("budget", 42).End() }},
+		{"link", func() { tr.Begin("budget").LinkFrom(42) }},
 	}
 	const budget = 25 * time.Nanosecond
 	for _, tc := range cases {

@@ -262,6 +262,7 @@ footer{margin-top:3rem;font-size:.8rem;color:#889;border-top:1px solid #dde;padd
 		esc(in.dir), len(in.obsRuns), len(in.quality), len(in.bench))
 
 	renderQualitySection(&b, in.quality)
+	renderSLOSection(&b, in.obsRuns)
 	renderObsSection(&b, in.obsRuns)
 	renderBenchSection(&b, in.bench)
 
@@ -331,6 +332,71 @@ func renderQualitySection(b *strings.Builder, runs []qualityRun) {
 			b.WriteString("</table>\n")
 		}
 	}
+}
+
+// renderSLOSection surfaces the error-budget trackers embedded in OBS
+// snapshots as slo.<name>.* gauges (synced at drain by slo.Tracker.Snapshot):
+// burn rates across the four alert windows, budget consumed, and whether the
+// fast (page) or slow (ticket) multi-window alert was firing at snapshot
+// time. Runs without SLO gauges are simply absent.
+func renderSLOSection(b *strings.Builder, runs []obsRun) {
+	type sloRow struct {
+		exp, name string
+		gauges    map[string]float64
+		good, bad int64
+	}
+	var rows []sloRow
+	for _, run := range runs {
+		byName := map[string]map[string]float64{}
+		for g, v := range run.snap.Gauges {
+			if !strings.HasPrefix(g, "slo.") {
+				continue
+			}
+			rest := strings.TrimPrefix(g, "slo.")
+			dot := strings.LastIndex(rest, ".")
+			if dot <= 0 {
+				continue
+			}
+			name, field := rest[:dot], rest[dot+1:]
+			if byName[name] == nil {
+				byName[name] = map[string]float64{}
+			}
+			byName[name][field] = v
+		}
+		for name, gauges := range byName {
+			rows = append(rows, sloRow{
+				exp: run.exp, name: name, gauges: gauges,
+				good: run.snap.Counters["slo."+name+".good"],
+				bad:  run.snap.Counters["slo."+name+".bad"],
+			})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].exp != rows[j].exp {
+			return rows[i].exp < rows[j].exp
+		}
+		return rows[i].name < rows[j].name
+	})
+	b.WriteString("<h2>SLO error budgets</h2>\n")
+	b.WriteString("<p class=\"muted\">Multi-window burn-rate alerting: fast fires at burn ≥ 14.4 on both 5m and 1h (pages — budget gone in hours), slow at ≥ 6 on both 30m and 6h (tickets). Values are as of the run's drain snapshot.</p>\n")
+	b.WriteString("<table><tr><th>run / tracker</th><th>good</th><th>bad</th><th>burn 5m</th><th>burn 30m</th><th>burn 1h</th><th>burn 6h</th><th>budget used</th><th>alert</th></tr>\n")
+	for _, r := range rows {
+		alert := "<span class=\"ok\">ok</span>"
+		if r.gauges["fast_burn"] > 0 {
+			alert = "<span class=\"alert\">FAST BURN</span>"
+		} else if r.gauges["slow_burn"] > 0 {
+			alert = "<span class=\"alert\">slow burn</span>"
+		}
+		fmt.Fprintf(b, "<tr><td>%s / %s</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%.1f%%</td><td>%s</td></tr>\n",
+			esc(r.exp), esc(r.name), r.good, r.bad,
+			fmtF(r.gauges["burn_5m"]), fmtF(r.gauges["burn_30m"]),
+			fmtF(r.gauges["burn_1h"]), fmtF(r.gauges["burn_6h"]),
+			100*r.gauges["budget_consumed"], alert)
+	}
+	b.WriteString("</table>\n")
 }
 
 // renderObsSection emits per-experiment latency histograms with a sparkline

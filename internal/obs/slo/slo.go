@@ -1,0 +1,262 @@
+// Package slo implements an SRE-style error-budget tracker with
+// multi-window, multi-burn-rate alerting (the Google SRE Workbook recipe):
+//
+//   - fast burn: both the 5-minute and 1-hour windows burning ≥ 14.4× budget
+//     (at 14.4× a 30-day budget is gone in 2 days — page now)
+//   - slow burn: both the 30-minute and 6-hour windows burning ≥ 6× budget
+//     (budget gone in 5 days — ticket)
+//
+// Requiring the short AND long window to agree gives fast detection without
+// flapping: the short window arms quickly and also resets the alert quickly
+// once the bleeding stops.
+//
+// The tracker keeps per-minute good/bad buckets in a fixed ring covering the
+// longest window, so Record is two atomic adds and memory is constant. Burn
+// rates are computed on demand from the ring — there is no background
+// goroutine, which keeps the tracker trivially testable with a fake clock.
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"after/internal/obs"
+)
+
+// Default thresholds per the SRE Workbook's 99.9%-SLO worked example; they
+// transfer to any objective because burn rate is budget-relative.
+const (
+	DefaultFastBurn = 14.4
+	DefaultSlowBurn = 6.0
+)
+
+// Config parameterizes a Tracker. Zero fields take defaults.
+type Config struct {
+	// Name labels the tracker's gauges (slo.<name>.*) and JSON snapshot.
+	Name string
+	// Objective is the availability target, e.g. 0.99 → 1% error budget.
+	// Default 0.99.
+	Objective float64
+	// Window is the error-budget accounting window (the denominator for
+	// BudgetConsumed) and the longest burn window. Default 6h.
+	Window time.Duration
+	// FastBurn / SlowBurn are the alert thresholds. Defaults 14.4 / 6.
+	FastBurn float64
+	SlowBurn float64
+	// Now injects a clock for tests. Default time.Now.
+	Now func() time.Time
+	// Registry receives the slo.<name>.* gauges on every Snapshot; nil uses
+	// the default registry.
+	Registry *obs.Registry
+}
+
+// bucket is one minute of outcomes.
+type bucket struct {
+	minute int64 // unix minute this bucket currently represents
+	good   int64
+	bad    int64
+}
+
+// Tracker accumulates request outcomes and evaluates burn-rate alerts.
+type Tracker struct {
+	cfg     Config
+	budget  float64 // 1 - objective
+	mu      sync.Mutex
+	buckets []bucket
+
+	gBurn5m, gBurn30m, gBurn1h, gBurn6h *obs.Gauge
+	gConsumed, gFast, gSlow             *obs.Gauge
+	cGood, cBad                         *obs.Counter
+}
+
+// New builds a Tracker from cfg, applying defaults.
+func New(cfg Config) *Tracker {
+	if cfg.Name == "" {
+		cfg.Name = "serve"
+	}
+	if cfg.Objective <= 0 || cfg.Objective >= 1 {
+		cfg.Objective = 0.99
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 6 * time.Hour
+	}
+	if cfg.FastBurn <= 0 {
+		cfg.FastBurn = DefaultFastBurn
+	}
+	if cfg.SlowBurn <= 0 {
+		cfg.SlowBurn = DefaultSlowBurn
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	n := int(cfg.Window/time.Minute) + 1
+	reg, name := cfg.Registry, cfg.Name
+	return &Tracker{
+		cfg:       cfg,
+		budget:    1 - cfg.Objective,
+		buckets:   make([]bucket, n),
+		gBurn5m:   reg.Gauge("slo." + name + ".burn_5m"),
+		gBurn30m:  reg.Gauge("slo." + name + ".burn_30m"),
+		gBurn1h:   reg.Gauge("slo." + name + ".burn_1h"),
+		gBurn6h:   reg.Gauge("slo." + name + ".burn_6h"),
+		gConsumed: reg.Gauge("slo." + name + ".budget_consumed"),
+		gFast:     reg.Gauge("slo." + name + ".fast_burn"),
+		gSlow:     reg.Gauge("slo." + name + ".slow_burn"),
+		cGood:     reg.Counter("slo." + name + ".good"),
+		cBad:      reg.Counter("slo." + name + ".bad"),
+	}
+}
+
+// Record books one request outcome into the current minute bucket. Nil-safe
+// so serving code can hold an optional tracker without branches.
+func (t *Tracker) Record(good bool) {
+	if t == nil {
+		return
+	}
+	min := t.cfg.Now().Unix() / 60
+	t.mu.Lock()
+	b := &t.buckets[min%int64(len(t.buckets))]
+	if b.minute != min {
+		// The ring lapped this slot (or it is fresh): it now represents the
+		// current minute.
+		*b = bucket{minute: min}
+	}
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+	t.mu.Unlock()
+	if good {
+		t.cGood.Inc()
+	} else {
+		t.cBad.Inc()
+	}
+}
+
+// window sums outcomes over the trailing d. Called with t.mu held.
+func (t *Tracker) window(now int64, d time.Duration) (good, bad int64) {
+	mins := int64(d / time.Minute)
+	if mins < 1 {
+		mins = 1
+	}
+	if mins > int64(len(t.buckets)) {
+		mins = int64(len(t.buckets))
+	}
+	for i := int64(0); i < mins; i++ {
+		min := now - i
+		b := &t.buckets[min%int64(len(t.buckets))]
+		if b.minute == min {
+			good += b.good
+			bad += b.bad
+		}
+	}
+	return good, bad
+}
+
+// burn converts a window's outcome counts into a burn rate: the fraction of
+// requests that were bad, relative to the error budget. 1.0 means "burning
+// exactly the budget"; above 1 the budget runs out before the window ends.
+// An empty window burns nothing.
+func (t *Tracker) burn(good, bad int64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / t.budget
+}
+
+// Snapshot is the tracker's externally visible state.
+type Snapshot struct {
+	Name           string  `json:"name"`
+	Objective      float64 `json:"objective"`
+	WindowMinutes  int     `json:"window_minutes"`
+	Good           int64   `json:"good"`
+	Bad            int64   `json:"bad"`
+	Burn5m         float64 `json:"burn_5m"`
+	Burn30m        float64 `json:"burn_30m"`
+	Burn1h         float64 `json:"burn_1h"`
+	Burn6h         float64 `json:"burn_6h"`
+	BudgetConsumed float64 `json:"budget_consumed"`
+	FastBurn       bool    `json:"fast_burn"`
+	SlowBurn       bool    `json:"slow_burn"`
+}
+
+// Snapshot evaluates all burn windows at the current clock, syncs the
+// slo.<name>.* gauges (so registry snapshots like OBS_serve.json carry SLO
+// state), and returns the result. Nil-safe.
+func (t *Tracker) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	now := t.cfg.Now().Unix() / 60
+	t.mu.Lock()
+	g5, b5 := t.window(now, 5*time.Minute)
+	g30, b30 := t.window(now, 30*time.Minute)
+	g1h, b1h := t.window(now, time.Hour)
+	gW, bW := t.window(now, t.cfg.Window)
+	t.mu.Unlock()
+
+	s := Snapshot{
+		Name:          t.cfg.Name,
+		Objective:     t.cfg.Objective,
+		WindowMinutes: int(t.cfg.Window / time.Minute),
+		Good:          gW,
+		Bad:           bW,
+		Burn5m:        t.burn(g5, b5),
+		Burn30m:       t.burn(g30, b30),
+		Burn1h:        t.burn(g1h, b1h),
+		Burn6h:        t.burn(gW, bW),
+	}
+	// Budget consumed: bad requests as a fraction of the budgeted allowance
+	// over the accounting window (1.0 = the whole window's budget is spent).
+	if total := gW + bW; total > 0 {
+		s.BudgetConsumed = float64(bW) / (float64(total) * t.budget)
+	}
+	s.FastBurn = s.Burn5m >= t.cfg.FastBurn && s.Burn1h >= t.cfg.FastBurn
+	s.SlowBurn = s.Burn30m >= t.cfg.SlowBurn && s.Burn6h >= t.cfg.SlowBurn
+
+	t.gBurn5m.Set(s.Burn5m)
+	t.gBurn30m.Set(s.Burn30m)
+	t.gBurn1h.Set(s.Burn1h)
+	t.gBurn6h.Set(s.Burn6h)
+	t.gConsumed.Set(s.BudgetConsumed)
+	t.gFast.Set(boolGauge(s.FastBurn))
+	t.gSlow.Set(boolGauge(s.SlowBurn))
+	return s
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Reset clears all buckets — used between load-sweep rows so one row's sheds
+// don't bleed into the next row's burn windows. Nil-safe.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for i := range t.buckets {
+		t.buckets[i] = bucket{}
+	}
+	t.mu.Unlock()
+}
+
+// Handler returns the /slo debug endpoint: a JSON Snapshot per GET.
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(t.Snapshot())
+	})
+}

@@ -1,0 +1,208 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"after/internal/obs"
+)
+
+// fakeClock advances only when told, starting at a fixed epoch.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestTracker(c *fakeClock) *Tracker {
+	return New(Config{
+		Name:      "test",
+		Objective: 0.99,
+		Now:       c.now,
+		Registry:  obs.NewRegistry(),
+	})
+}
+
+// record books n outcomes spread one per second so minute buckets fill
+// realistically.
+func record(tr *Tracker, c *fakeClock, good, bad int) {
+	for i := 0; i < good; i++ {
+		tr.Record(true)
+	}
+	for i := 0; i < bad; i++ {
+		tr.Record(false)
+	}
+	_ = c
+}
+
+// TestHealthyTrafficNoAlerts: bad fraction exactly at the objective burns at
+// rate 1 — far under both thresholds.
+func TestHealthyTrafficNoAlerts(t *testing.T) {
+	c := newFakeClock()
+	tr := newTestTracker(c)
+	for m := 0; m < 10; m++ {
+		record(tr, c, 99, 1) // exactly 1% bad = burn 1.0
+		c.advance(time.Minute)
+	}
+	s := tr.Snapshot()
+	if s.FastBurn || s.SlowBurn {
+		t.Fatalf("alerts fired on on-budget traffic: %+v", s)
+	}
+	if s.Burn5m < 0.9 || s.Burn5m > 1.1 {
+		t.Fatalf("burn_5m = %v, want ≈1.0", s.Burn5m)
+	}
+}
+
+// TestFastBurnFiresAndClears: a total outage trips the fast alert once both
+// the 5m and 1h windows see it, and the alert clears when the short window
+// goes clean again even though the 1h window is still dirty.
+func TestFastBurnFiresAndClears(t *testing.T) {
+	c := newFakeClock()
+	tr := newTestTracker(c)
+	// 6 minutes of 50% errors: burn = 0.5/0.01 = 50 ≥ 14.4 in both windows.
+	for m := 0; m < 6; m++ {
+		record(tr, c, 50, 50)
+		c.advance(time.Minute)
+	}
+	s := tr.Snapshot()
+	if !s.FastBurn {
+		t.Fatalf("fast burn did not fire during outage: %+v", s)
+	}
+	// 6 minutes of clean traffic: the 5m window is now clean → alert clears,
+	// while the 1h window still carries the outage.
+	for m := 0; m < 6; m++ {
+		record(tr, c, 100, 0)
+		c.advance(time.Minute)
+	}
+	s = tr.Snapshot()
+	if s.FastBurn {
+		t.Fatalf("fast burn still firing after 6 clean minutes: %+v", s)
+	}
+	if s.Burn1h < 14.4 {
+		t.Fatalf("1h window forgot the outage too quickly: burn_1h=%v", s.Burn1h)
+	}
+}
+
+// TestSlowBurnNeedsBothWindows: a moderate sustained error rate trips the
+// slow alert but never the fast one.
+func TestSlowBurnNeedsBothWindows(t *testing.T) {
+	c := newFakeClock()
+	tr := newTestTracker(c)
+	// 40 minutes at 8% bad: burn = 8 ≥ 6 (slow) but < 14.4 (fast).
+	for m := 0; m < 40; m++ {
+		record(tr, c, 92, 8)
+		c.advance(time.Minute)
+	}
+	s := tr.Snapshot()
+	if !s.SlowBurn {
+		t.Fatalf("slow burn did not fire at 8x budget: %+v", s)
+	}
+	if s.FastBurn {
+		t.Fatalf("fast burn fired at 8x budget (threshold 14.4): %+v", s)
+	}
+}
+
+// TestWindowExpiry: outcomes older than a window stop counting once the
+// clock moves past them.
+func TestWindowExpiry(t *testing.T) {
+	c := newFakeClock()
+	tr := newTestTracker(c)
+	record(tr, c, 0, 100) // one awful minute
+	c.advance(10 * time.Minute)
+	record(tr, c, 100, 0)
+	s := tr.Snapshot()
+	if s.Burn5m != 0 {
+		t.Fatalf("burn_5m = %v, want 0: the bad minute is 10 minutes old", s.Burn5m)
+	}
+	if s.Burn30m == 0 {
+		t.Fatalf("burn_30m = 0, want >0: the bad minute is inside 30m")
+	}
+	// Advance past the full accounting window: everything expires.
+	c.advance(7 * time.Hour)
+	s = tr.Snapshot()
+	if s.Good != 0 || s.Bad != 0 || s.BudgetConsumed != 0 {
+		t.Fatalf("outcomes survived past the accounting window: %+v", s)
+	}
+}
+
+// TestBudgetConsumedMath: 1% objective, 2% bad over the window → budget
+// consumed 2.0 (double the allowance).
+func TestBudgetConsumedMath(t *testing.T) {
+	c := newFakeClock()
+	tr := newTestTracker(c)
+	record(tr, c, 98, 2)
+	s := tr.Snapshot()
+	if s.BudgetConsumed < 1.9 || s.BudgetConsumed > 2.1 {
+		t.Fatalf("BudgetConsumed = %v, want ≈2.0", s.BudgetConsumed)
+	}
+}
+
+// TestResetClearsState: Reset wipes the ring so the next row starts clean.
+func TestResetClearsState(t *testing.T) {
+	c := newFakeClock()
+	tr := newTestTracker(c)
+	record(tr, c, 0, 500)
+	if s := tr.Snapshot(); !s.FastBurn {
+		t.Fatal("precondition: outage should trip fast burn")
+	}
+	tr.Reset()
+	s := tr.Snapshot()
+	if s.FastBurn || s.Bad != 0 || s.Burn5m != 0 {
+		t.Fatalf("Reset left state behind: %+v", s)
+	}
+}
+
+// TestGaugeSync: Snapshot publishes the slo.* gauges into the registry so
+// OBS_<exp>.json snapshots carry SLO state.
+func TestGaugeSync(t *testing.T) {
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	c := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := New(Config{Name: "gauges", Objective: 0.99, Now: c.now, Registry: reg})
+	record(tr, c, 0, 100)
+	tr.Snapshot()
+	snap := reg.Snapshot()
+	if snap.Gauges["slo.gauges.fast_burn"] != 1 {
+		t.Fatalf("fast_burn gauge = %v, want 1", snap.Gauges["slo.gauges.fast_burn"])
+	}
+	if snap.Gauges["slo.gauges.burn_5m"] < 14.4 {
+		t.Fatalf("burn_5m gauge = %v, want ≥14.4", snap.Gauges["slo.gauges.burn_5m"])
+	}
+	if snap.Counters["slo.gauges.bad"] != 100 {
+		t.Fatalf("bad counter = %v, want 100", snap.Counters["slo.gauges.bad"])
+	}
+}
+
+// TestHandler serves a JSON snapshot over HTTP.
+func TestHandler(t *testing.T) {
+	c := newFakeClock()
+	tr := newTestTracker(c)
+	record(tr, c, 99, 1)
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /slo = %d", rec.Code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if s.Name != "test" || s.Good != 99 || s.Bad != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+// TestNilTrackerInert: all methods on a nil *Tracker no-op.
+func TestNilTrackerInert(t *testing.T) {
+	var tr *Tracker
+	tr.Record(true)
+	tr.Reset()
+	if s := tr.Snapshot(); s.Bad != 0 {
+		t.Fatal("nil tracker produced outcomes")
+	}
+}

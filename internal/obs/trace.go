@@ -28,10 +28,28 @@ type spanInfo struct {
 // different spans) is possible under wraparound and tolerated — it skews one
 // visualization rectangle, never memory safety.
 type traceSlot struct {
-	name  atomic.Int32 // interned id + 1; 0 = never written
-	lane  atomic.Int32
-	start atomic.Int64 // ns since tracer base
-	dur   atomic.Int64 // ns
+	name   atomic.Int32 // interned id + 1; 0 = never written
+	lane   atomic.Int32
+	start  atomic.Int64  // ns since tracer base
+	dur    atomic.Int64  // ns
+	id     atomic.Uint64 // per-span identity; 0 = pre-SpanID record
+	parent atomic.Uint64 // SpanID of the parent span; 0 = root
+}
+
+// SpanID identifies one recorded span within a tracer's lifetime. The zero
+// value means "no span" — either tracing was off when the span began, or the
+// caller has no parent to offer. IDs are never reused while the process
+// lives, so a stale ID is at worst a dangling reference (the export drops
+// links whose endpoints fell off the ring), never a misattribution.
+type SpanID uint64
+
+// linkSlot is one cross-goroutine link record (from-span → to-span). Links
+// live in their own smaller ring: they are rarer than spans (one per
+// coalesced request, not one per phase) and torn records under wrap are
+// tolerated for the same reason as traceSlot.
+type linkSlot struct {
+	from atomic.Uint64
+	to   atomic.Uint64
 }
 
 // Tracer is a low-overhead span recorder. Disabled (the default), Begin is a
@@ -46,6 +64,10 @@ type Tracer struct {
 	buf     []traceSlot
 	next    atomic.Uint64 // total spans ever recorded; slot = next % len
 	active  atomic.Int32  // concurrent spans, used to assign display lanes
+	ids     atomic.Uint64 // SpanID allocator; only bumped while tracing is on
+
+	links    []linkSlot
+	linkNext atomic.Uint64 // total links ever recorded; slot = linkNext % len
 
 	names sync.Map // string -> *spanInfo
 	mu    sync.Mutex
@@ -54,12 +76,22 @@ type Tracer struct {
 }
 
 // NewTracer builds a tracer with the given ring capacity whose span rollups
-// land in reg (nil disables rollups).
+// land in reg (nil disables rollups). The link ring is sized at a quarter of
+// the span ring: links are per-request, spans are per-phase.
 func NewTracer(capacity int, reg *Registry) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{base: time.Now(), buf: make([]traceSlot, capacity), reg: reg}
+	linkCap := capacity / 4
+	if linkCap < 1 {
+		linkCap = 1
+	}
+	return &Tracer{
+		base:  time.Now(),
+		buf:   make([]traceSlot, capacity),
+		links: make([]linkSlot, linkCap),
+		reg:   reg,
+	}
 }
 
 // SetEnabled flips span recording and returns the previous state.
@@ -93,10 +125,21 @@ type Span struct {
 	t     *Tracer
 	info  *spanInfo
 	start int64
+	// id/parent carry the span's identity through to its ring slot; both
+	// stay zero on metrics-only spans (tracing off), keeping ID() cheap to
+	// hand to another goroutine without a tracing check at the call site.
+	id     uint64
+	parent uint64
 	// lane is the display lane for traced spans; -1 marks a metrics-only
 	// span (folded into one field to keep Begin's fast path inlinable).
 	lane int32
 }
+
+// ID returns the span's identity for parenting or linking from another
+// goroutine. Zero when the span is inert or tracing is off — callers can pass
+// it onward unconditionally; BeginChild and LinkFrom treat zero as "no
+// relation".
+func (s Span) ID() SpanID { return SpanID(s.id) }
 
 // Begin opens a span. When neither tracing nor metrics are enabled this is a
 // pair of atomic loads and returns an inert span. When only metrics are on,
@@ -124,8 +167,42 @@ func (t *Tracer) begin(name string) Span {
 	}
 	if t.enabled.Load() {
 		sp.lane = t.active.Add(1) - 1
+		sp.id = t.ids.Add(1)
 	}
 	return sp
+}
+
+// BeginChild opens a span parented under parent, which may come from another
+// goroutine (a queue producer handing work to a batch worker). The disabled
+// fast path is identical to Begin — two atomic loads and a zero struct. A
+// zero parent degrades to a root span, so callers never need to guard.
+func (t *Tracer) BeginChild(name string, parent SpanID) Span {
+	if !t.enabled.Load() && !enabled.Load() {
+		return Span{}
+	}
+	sp := t.begin(name)
+	sp.parent = uint64(parent)
+	return sp
+}
+
+// LinkFrom records a cross-goroutine link from the span identified by `from`
+// into this span: "this span exists because that one enqueued work for it".
+// The serve micro-batcher uses it to tie one fused batch span back to the N
+// request spans it coalesced. Inert spans, untraced spans, and zero sources
+// all no-op.
+func (s Span) LinkFrom(from SpanID) {
+	if s.t == nil || s.id == 0 || from == 0 {
+		return
+	}
+	s.t.link(uint64(from), s.id)
+}
+
+// link appends one from→to record to the link ring.
+func (t *Tracer) link(from, to uint64) {
+	i := t.linkNext.Add(1) - 1
+	slot := &t.links[i%uint64(len(t.links))]
+	slot.from.Store(from)
+	slot.to.Store(to)
 }
 
 // End closes the span, recording its duration. Inert spans no-op: the nil
@@ -153,18 +230,26 @@ func (s Span) end() {
 	slot.lane.Store(s.lane)
 	slot.start.Store(s.start)
 	slot.dur.Store(d)
+	slot.id.Store(s.id)
+	slot.parent.Store(s.parent)
 }
 
-// traceEvent is one Chrome trace-event ("X" = complete event). Timestamps
-// and durations are microseconds per the trace-event spec.
+// traceEvent is one Chrome trace-event: "X" complete events for spans, "s"
+// (flow start) / "f" (flow finish) pairs for cross-goroutine links.
+// Timestamps and durations are microseconds per the trace-event spec. ID and
+// BP only appear on flow events; Args carries span_id/parent on spans so a
+// reader (or CI assert) can reconstruct the tree without the viewer.
 type traceEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	Pid  int     `json:"pid"`
-	Tid  int32   `json:"tid"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int32          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // chromeTrace is the JSON-object form of the trace-event format, loadable by
@@ -210,14 +295,19 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			"tool":          "aftersim -trace",
 			"spansRecorded": t.next.Load(),
 			"spansDropped":  t.Dropped(),
+			"linksRecorded": t.linkNext.Load(),
 		},
 	}
+	// retained maps SpanID → retained slot, so link export can anchor flow
+	// events at real slices and silently drop links whose endpoint fell off
+	// the ring (a dangling flow event renders as a floating arrow).
+	retained := make(map[uint64]*traceSlot)
 	for i := range t.buf {
 		id := t.buf[i].name.Load()
 		if id == 0 {
 			continue
 		}
-		out.TraceEvents = append(out.TraceEvents, traceEvent{
+		ev := traceEvent{
 			Name: nameOf(id - 1),
 			Cat:  "after",
 			Ph:   "X",
@@ -225,7 +315,54 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Tid:  t.buf[i].lane.Load(),
 			Ts:   float64(t.buf[i].start.Load()) / 1e3,
 			Dur:  float64(t.buf[i].dur.Load()) / 1e3,
-		})
+		}
+		if sid := t.buf[i].id.Load(); sid != 0 {
+			retained[sid] = &t.buf[i]
+			ev.Args = map[string]any{"span_id": sid}
+			if p := t.buf[i].parent.Load(); p != 0 {
+				ev.Args["parent"] = p
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	// Each surviving link becomes a flow pair: "s" anchored at the start of
+	// the source slice (the source — a request span — usually outlives the
+	// destination batch span, so its start is the only anchor guaranteed to
+	// precede the destination), "f" (bp:"e" = bind to enclosing slice) at the
+	// start of the destination. Chrome/Perfetto draw these as arrows across
+	// lanes.
+	flowID := uint64(0)
+	for i := range t.links {
+		from, to := t.links[i].from.Load(), t.links[i].to.Load()
+		if from == 0 || to == 0 {
+			continue
+		}
+		src, okSrc := retained[from]
+		dst, okDst := retained[to]
+		if !okSrc || !okDst {
+			continue
+		}
+		flowID++
+		out.TraceEvents = append(out.TraceEvents,
+			traceEvent{
+				Name: "link", Cat: "after.link", Ph: "s", Pid: 1,
+				Tid: src.lane.Load(),
+				Ts:  float64(src.start.Load()) / 1e3,
+				ID:  flowID,
+				Args: map[string]any{
+					"from": from, "to": to,
+				},
+			},
+			traceEvent{
+				Name: "link", Cat: "after.link", Ph: "f", BP: "e", Pid: 1,
+				Tid: dst.lane.Load(),
+				Ts:  float64(dst.start.Load()) / 1e3,
+				ID:  flowID,
+				Args: map[string]any{
+					"from": from, "to": to,
+				},
+			},
+		)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
@@ -240,6 +377,10 @@ func DefaultTracer() *Tracer { return defTracer }
 
 // Begin opens a span on the default tracer.
 func Begin(name string) Span { return defTracer.Begin(name) }
+
+// BeginChild opens a span on the default tracer parented under parent (which
+// may come from another goroutine). Zero parent degrades to a root span.
+func BeginChild(name string, parent SpanID) Span { return defTracer.BeginChild(name, parent) }
 
 // SetTracing flips ring recording on the default tracer and returns the
 // previous state.

@@ -102,6 +102,179 @@ func TestTracerRingWraparound(t *testing.T) {
 	}
 }
 
+// TestTracerParentedWraparound wraps a tiny ring with parented spans and
+// cross-goroutine links, then checks the export stays a coherent tree: every
+// retained span carries its span_id, parents that survived the wrap are
+// referenced by id, and links whose endpoints fell off the ring are dropped
+// rather than exported dangling.
+func TestTracerParentedWraparound(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	tr := NewTracer(8, nil)
+	tr.SetEnabled(true)
+	const total = 20
+	// Each iteration: a parent span with one child, child linked from parent.
+	// 2 spans per iteration → 40 spans through an 8-slot ring; 20 links
+	// through a 2-slot link ring.
+	var lastParent, lastChild SpanID
+	for i := 0; i < total; i++ {
+		p := tr.Begin(fmt.Sprintf("p%02d", i))
+		c := tr.BeginChild(fmt.Sprintf("c%02d", i), p.ID())
+		c.LinkFrom(p.ID())
+		if p.ID() == 0 || c.ID() == 0 {
+			t.Fatalf("iteration %d: traced spans got zero SpanID", i)
+		}
+		c.End()
+		p.End()
+		lastParent, lastChild = p.ID(), c.ID()
+	}
+	if got := tr.Dropped(); got != 2*total-8 {
+		t.Fatalf("Dropped = %d, want %d", got, 2*total-8)
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			BP   string         `json:"bp"`
+			ID   uint64         `json:"id"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spanIDs := map[uint64]bool{}
+	var xEvents, sEvents, fEvents int
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xEvents++
+			sid, ok := ev.Args["span_id"].(float64)
+			if !ok || sid == 0 {
+				t.Fatalf("retained span %q has no span_id arg", ev.Name)
+			}
+			spanIDs[uint64(sid)] = true
+		case "s":
+			sEvents++
+		case "f":
+			fEvents++
+			if ev.BP != "e" {
+				t.Errorf("flow finish missing bp=e: %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if xEvents != 8 {
+		t.Fatalf("retained %d spans, want 8", xEvents)
+	}
+	if !spanIDs[uint64(lastParent)] || !spanIDs[uint64(lastChild)] {
+		t.Fatal("newest parent/child spans missing from export")
+	}
+	// The newest child's X event must name the surviving parent.
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if sid, _ := ev.Args["span_id"].(float64); uint64(sid) == uint64(lastChild) {
+			par, _ := ev.Args["parent"].(float64)
+			if uint64(par) != uint64(lastParent) {
+				t.Fatalf("child parent arg = %v, want %d", ev.Args["parent"], lastParent)
+			}
+		}
+	}
+	if sEvents != fEvents {
+		t.Fatalf("unbalanced flow events: %d starts, %d finishes", sEvents, fEvents)
+	}
+	if sEvents == 0 {
+		t.Fatal("no flow links survived although the newest link's endpoints are retained")
+	}
+	// Every exported flow endpoint must reference a retained span.
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "s" && ev.Ph != "f" {
+			continue
+		}
+		from, _ := ev.Args["from"].(float64)
+		to, _ := ev.Args["to"].(float64)
+		if !spanIDs[uint64(from)] || !spanIDs[uint64(to)] {
+			t.Fatalf("dangling flow event %+v: endpoint not retained", ev)
+		}
+	}
+}
+
+// TestTracerCrossGoroutineLinks models the serve shape: N request spans on
+// producer goroutines, one batch span on a worker linked from each, children
+// under the batch. The export must contain one flow pair per request.
+func TestTracerCrossGoroutineLinks(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	tr := NewTracer(64, nil)
+	tr.SetEnabled(true)
+	const n = 4
+	reqIDs := make([]SpanID, n)
+	reqSpans := make([]Span, n)
+	ready := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			reqSpans[i] = tr.Begin("request")
+			reqIDs[i] = reqSpans[i].ID()
+			ready <- i
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-ready
+	}
+	batch := tr.Begin("batch")
+	for i := 0; i < n; i++ {
+		batch.LinkFrom(reqIDs[i])
+	}
+	child := tr.BeginChild("step", batch.ID())
+	child.End()
+	batch.End()
+	for i := 0; i < n; i++ {
+		reqSpans[i].End()
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out chromeTrace
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var flows int
+	var batchID float64
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "batch" {
+			batchID = ev.Args["span_id"].(float64)
+		}
+	}
+	if batchID == 0 {
+		t.Fatal("batch span missing span_id")
+	}
+	for _, ev := range out.TraceEvents {
+		switch {
+		case ev.Ph == "s":
+			flows++
+			if to, _ := ev.Args["to"].(float64); to != batchID {
+				t.Errorf("flow start targets span %v, want batch %v", ev.Args["to"], batchID)
+			}
+		case ev.Ph == "X" && ev.Name == "step":
+			if par, _ := ev.Args["parent"].(float64); par != batchID {
+				t.Errorf("step parent = %v, want batch %v", ev.Args["parent"], batchID)
+			}
+		}
+	}
+	if flows != n {
+		t.Fatalf("exported %d flow links, want %d", flows, n)
+	}
+}
+
 // TestTracerChromeEventShape records one real span and checks the exported
 // event's timing fields are sane microsecond values.
 func TestTracerChromeEventShape(t *testing.T) {

@@ -1,0 +1,194 @@
+// Package wide implements wide-event logging: one structured JSONL record
+// per served request, carrying everything needed to explain that request's
+// outcome (request id, queue wait, batch membership, fallback kind, shed
+// reason, deadline budget) in a single line.
+//
+// The writer applies tail-based sampling — the interesting tail (sheds,
+// degraded results, deadline blowouts, slow requests) is always kept, the
+// healthy bulk is down-sampled 1-in-N — and rotates the log when it exceeds a
+// size cap, so an afterd left running under load cannot fill the disk.
+package wide
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"after/internal/obs"
+)
+
+// Default knobs; zero-valued Options fields fall back to these.
+const (
+	// DefaultSampleN keeps 1 in 32 healthy-path events. The tail (keep=true)
+	// bypasses sampling entirely.
+	DefaultSampleN = 32
+	// DefaultMaxBytes rotates the log at 64 MiB — roughly 200k wide events.
+	DefaultMaxBytes = 64 << 20
+)
+
+// Options configures a Writer.
+type Options struct {
+	// SampleN keeps 1-in-SampleN of non-kept events; <=1 keeps everything.
+	SampleN int
+	// MaxBytes rotates path → path+".1" when the current file would exceed
+	// it; <=0 means DefaultMaxBytes.
+	MaxBytes int64
+	// Registry receives writer telemetry (events kept/sampled out,
+	// rotations, write errors); nil uses the default registry.
+	Registry *obs.Registry
+}
+
+// Writer is a concurrency-safe sampled JSONL sink. The zero/nil Writer is
+// inert: every method no-ops, so call sites need no "is access logging on"
+// branches.
+type Writer struct {
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	path     string
+	size     int64
+	maxBytes int64
+	sampleN  uint64
+	seq      atomic.Uint64 // healthy-path event counter driving 1-in-N
+
+	kept      *obs.Counter
+	sampled   *obs.Counter
+	rotations *obs.Counter
+	errs      *obs.Counter
+}
+
+// Open creates (or appends to) the JSONL file at path.
+func Open(path string, opt Options) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	sampleN := uint64(opt.SampleN)
+	if opt.SampleN == 0 {
+		sampleN = DefaultSampleN
+	} else if opt.SampleN < 0 {
+		sampleN = 1
+	}
+	maxBytes := opt.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Writer{
+		f:         f,
+		bw:        bufio.NewWriterSize(f, 64<<10),
+		path:      path,
+		size:      st.Size(),
+		maxBytes:  maxBytes,
+		sampleN:   sampleN,
+		kept:      reg.Counter("wide.events"),
+		sampled:   reg.Counter("wide.sampled_out"),
+		rotations: reg.Counter("wide.rotations"),
+		errs:      reg.Counter("wide.write_errors"),
+	}, nil
+}
+
+// Log appends one event as a JSON line. keep=true bypasses sampling (the
+// interesting tail: sheds, degraded, deadline-exceeded, slow); otherwise the
+// event is written 1-in-SampleN. Returns whether the event was written.
+// Safe for concurrent use; a nil Writer no-ops.
+func (w *Writer) Log(v any, keep bool) bool {
+	if w == nil {
+		return false
+	}
+	if !keep && w.sampleN > 1 && w.seq.Add(1)%w.sampleN != 0 {
+		w.sampled.Inc()
+		return false
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		w.errs.Inc()
+		return false
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil { // closed
+		return false
+	}
+	if w.size+int64(len(line)) > w.maxBytes {
+		w.rotate()
+	}
+	if _, err := w.bw.Write(line); err != nil {
+		w.errs.Inc()
+		return false
+	}
+	w.size += int64(len(line))
+	w.kept.Inc()
+	return true
+}
+
+// rotate moves the current file aside (path → path+".1", clobbering any
+// previous rotation — a one-deep history bounds total disk at 2×MaxBytes)
+// and reopens a fresh file. Called with w.mu held.
+func (w *Writer) rotate() {
+	w.bw.Flush()
+	w.f.Close()
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		w.errs.Inc()
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		// Disk trouble: leave the writer closed rather than crash the
+		// serving path; subsequent Logs drop with the error counter bumped.
+		w.errs.Inc()
+		w.f, w.bw = nil, nil
+		return
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 64<<10)
+	w.size = 0
+	w.rotations.Inc()
+}
+
+// Flush pushes buffered lines to the OS without fsync. Nil-safe.
+func (w *Writer) Flush() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.bw == nil {
+		return nil
+	}
+	return w.bw.Flush()
+}
+
+// Close flushes, fsyncs, and closes the file — the drain-time "atomic final
+// flush": after Close returns, every kept event is durably on disk (the same
+// crash-window discipline as obs.WriteFileAtomic's pre-rename fsync).
+// Nil-safe and idempotent; Logs after Close drop silently.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.bw.Flush()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f, w.bw = nil, nil
+	return err
+}

@@ -6,6 +6,7 @@ import (
 
 	"after/internal/dataset"
 	"after/internal/metrics"
+	"after/internal/obs"
 	"after/internal/occlusion"
 	"after/internal/sim"
 )
@@ -71,7 +72,16 @@ type Guard struct {
 
 	lastRendered []bool
 	latePanics   int // consecutive post-deadline panics on the active stepper
+
+	// traceParent parents the guard.step span of the next Step call; the
+	// serving micro-batcher sets its batch span here before each solo step.
+	traceParent obs.SpanID
 }
+
+// SetTraceParent parents the guard.step span of subsequent Step calls under
+// parent, hanging the fallback-chain work off the caller's trace. Same
+// single-goroutine contract as Step.
+func (g *Guard) SetTraceParent(parent obs.SpanID) { g.traceParent = parent }
 
 // NewGuard starts a protected session for target in room: the primary
 // recommender backed by cfg.Fallbacks, demoted in order, with hold-last-set
@@ -114,6 +124,8 @@ func (g *Guard) Robustness() metrics.Robustness { return g.tly.robustness() }
 // deadline path entirely (inline call, unbounded retries), matching the
 // zero-value episode Config.
 func (g *Guard) Step(t int, frame *occlusion.StaticGraph, deadline time.Duration) (out []bool, fresh bool) {
+	sp := obs.BeginChild("guard.step", g.traceParent)
+	defer sp.End()
 	if g.stepper == nil {
 		return g.degrade(), false
 	}

@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"after/internal/obs"
 )
 
 // pending is one admitted recommendation request waiting in a room's queue.
@@ -12,6 +14,15 @@ type pending struct {
 	deadline time.Time
 	// enq is the admission time, charged as queue wait.
 	enq time.Time
+	// id is the request's X-Request-ID, carried so the batch worker's wide
+	// events and spans correlate with the HTTP response.
+	id string
+	// spanID identifies the request's serve.request span; the batch span
+	// links from it so one fused pass points back at every member request.
+	spanID obs.SpanID
+	// qsp is the serve.queue child span, opened at admission and closed by
+	// the batch worker when it picks the request up.
+	qsp obs.Span
 	// resc receives exactly one outcome (buffered so the batch worker never
 	// blocks on a caller that gave up).
 	resc chan outcome

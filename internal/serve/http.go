@@ -1,15 +1,68 @@
 package serve
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"after/internal/geom"
 )
+
+// reqIDKey carries the request id through context from ingress middleware to
+// the serving entry points.
+type reqIDKey struct{}
+
+// reqIDPrefix makes ids from different daemon processes distinguishable; the
+// per-process sequence keeps generation to one atomic add on the hot path.
+var reqIDPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "after"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var reqIDSeq atomic.Uint64
+
+// newRequestID mints a process-unique request id for clients that sent none.
+func newRequestID() string {
+	return reqIDPrefix + "-" + strconv.FormatUint(reqIDSeq.Add(1), 16)
+}
+
+// WithRequestID stamps a request id into ctx; in-process callers (tests, the
+// load sweep) use it to correlate Recommend calls with wide events the same
+// way HTTP clients use the X-Request-ID header.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request id from ctx; empty when none was set.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// withRequestID is the ingress middleware: accept the client's X-Request-ID
+// (or mint one), echo it on EVERY response — 2xx, 429/503 sheds, and 500s
+// alike, which is why the header is set before the inner handler runs — and
+// stash it in the request context for wide events and trace correlation.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(WithRequestID(r.Context(), id)))
+	})
+}
 
 // Handler returns the daemon's HTTP API (Go 1.22 pattern routing):
 //
@@ -20,11 +73,14 @@ import (
 //	POST /v1/rooms/{id}/recommend     request a rendered set
 //	GET  /healthz                     liveness (always 200 while serving)
 //	GET  /readyz                      readiness (503 once draining)
+//	GET  /slo                         error-budget + burn-rate snapshot
 //
 // Shed responses (429/503 with a JSON error body) always carry a
-// Retry-After header.
+// Retry-After header, and every response echoes the request's X-Request-ID
+// (client-supplied or server-minted).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("GET /slo", s.slo.Handler())
 	mux.HandleFunc("POST /v1/rooms", s.handleCreateRoom)
 	mux.HandleFunc("GET /v1/rooms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Rooms())
@@ -49,7 +105,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
-	return mux
+	return withRequestID(mux)
 }
 
 func (s *Server) handleCreateRoom(w http.ResponseWriter, r *http.Request) {

@@ -139,15 +139,28 @@ type Report struct {
 
 	FramesSent   int64 `json:"frames_sent"`
 	FramesFaulty int64 `json:"frames_faulty"`
+
+	// WorstRequestID is the X-Request-ID of the slowest accepted request —
+	// the request that set AcceptedMaxMs — so a bad run's tail can be joined
+	// against the server's access log and trace without guessing.
+	WorstRequestID string  `json:"worst_request_id,omitempty"`
+	WorstLatencyMs float64 `json:"worst_latency_ms,omitempty"`
+	// FirstShedRequestID is the X-Request-ID of the first shed (429/503)
+	// response the client saw, marking where the server first hit its
+	// admission bounds on the timeline.
+	FirstShedRequestID string `json:"first_shed_request_id,omitempty"`
 }
 
 // ShedTotal is the number of load-shedding responses (429 + 503).
 func (r *Report) ShedTotal() int64 { return r.Shed429 + r.Shed503 }
 
 type collector struct {
-	mu        sync.Mutex
-	latencies []time.Duration
-	servedBy  map[string]int64
+	mu          sync.Mutex
+	latencies   []time.Duration
+	servedBy    map[string]int64
+	worstID     string
+	worstLat    time.Duration
+	firstShedID string
 
 	sent, accepted, shed429, shed503 atomic.Int64
 	notSent, notReady, errors        atomic.Int64
@@ -156,7 +169,7 @@ type collector struct {
 	framesSent, framesFaulty         atomic.Int64
 }
 
-func (c *collector) accept(d time.Duration, servedBy string, fresh bool) {
+func (c *collector) accept(d time.Duration, servedBy, reqID string, fresh bool) {
 	c.accepted.Add(1)
 	if !fresh {
 		c.degraded.Add(1)
@@ -164,6 +177,17 @@ func (c *collector) accept(d time.Duration, servedBy string, fresh bool) {
 	c.mu.Lock()
 	c.latencies = append(c.latencies, d)
 	c.servedBy[servedBy]++
+	if d > c.worstLat {
+		c.worstLat, c.worstID = d, reqID
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) shed(reqID string) {
+	c.mu.Lock()
+	if c.firstShedID == "" && reqID != "" {
+		c.firstShedID = reqID
+	}
 	c.mu.Unlock()
 }
 
@@ -305,11 +329,12 @@ func fire(client *http.Client, cfg Config, col *collector, room string, target i
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
 	e2e := time.Since(start)
+	reqID := resp.Header.Get("X-Request-ID")
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var rr recResponse
 		_ = json.Unmarshal(data, &rr)
-		col.accept(e2e, rr.ServedBy, rr.Fresh)
+		col.accept(e2e, rr.ServedBy, reqID, rr.Fresh)
 		if cfg.DeadlineMs > 0 {
 			budget := time.Duration(cfg.DeadlineMs*1.25*float64(time.Millisecond)) + 20*time.Millisecond
 			if e2e > budget {
@@ -318,11 +343,13 @@ func fire(client *http.Client, cfg Config, col *collector, room string, target i
 		}
 	case http.StatusTooManyRequests:
 		col.shed429.Add(1)
+		col.shed(reqID)
 		if resp.Header.Get("Retry-After") == "" {
 			col.missingRetryAfter.Add(1)
 		}
 	case http.StatusServiceUnavailable:
 		col.shed503.Add(1)
+		col.shed(reqID)
 		if resp.Header.Get("Retry-After") == "" {
 			col.missingRetryAfter.Add(1)
 		}
@@ -375,6 +402,11 @@ func (c *collector) report(cfg Config, elapsed time.Duration) *Report {
 		FramesSent:        c.framesSent.Load(),
 		FramesFaulty:      c.framesFaulty.Load(),
 	}
+	c.mu.Lock()
+	r.WorstRequestID = c.worstID
+	r.WorstLatencyMs = float64(c.worstLat) / float64(time.Millisecond)
+	r.FirstShedRequestID = c.firstShedID
+	c.mu.Unlock()
 	if r.Sent > 0 {
 		r.ShedRate = float64(r.Shed429+r.Shed503) / float64(r.Sent)
 	}

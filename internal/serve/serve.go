@@ -41,6 +41,8 @@ import (
 	"after/internal/baselines"
 	"after/internal/obs"
 	"after/internal/obs/quality"
+	"after/internal/obs/slo"
+	"after/internal/obs/wide"
 	"after/internal/parallel"
 	"after/internal/resilience"
 	"after/internal/sim"
@@ -121,6 +123,22 @@ type Config struct {
 	// QUALITY_serve.json before the listener dies.
 	SnapshotDir string
 
+	// AccessLog, when non-nil, receives one wide event per request (tail
+	// sampled: sheds/degraded/deadline-blown/slow requests always, 1-in-N of
+	// the healthy rest). The server owns it from here on: Drain closes it
+	// (flush + fsync) after the last in-flight batch responds.
+	AccessLog *wide.Writer
+
+	// Float32 marks the primary as the f32 inference fast path; it only
+	// annotates wide events so a log reader can split f32/f64 populations.
+	Float32 bool
+
+	// SLOObjective is the availability objective the error-budget tracker
+	// burns against (default 0.99). A request counts against the budget when
+	// it is shed (429/503), errors server-side, or serves a stale
+	// (degraded/hold) set.
+	SLOObjective float64
+
 	// Clock overrides wall time in the guards' retry path (tests).
 	Clock resilience.Clock
 }
@@ -168,6 +186,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.SLOObjective <= 0 || c.SLOObjective >= 1 {
+		c.SLOObjective = 0.99
+	}
 	return c
 }
 
@@ -205,6 +226,7 @@ func shedErr(status int, retryAfter time.Duration, msg string) *APIError {
 // it with Start (or mount Handler on your own listener), stop it with Drain.
 type Server struct {
 	cfg Config
+	slo *slo.Tracker
 
 	draining atomic.Bool
 	queued   atomic.Int64 // requests sitting in room queues, all rooms
@@ -228,6 +250,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
 		cfg:     cfg,
+		slo:     slo.New(slo.Config{Name: "serve", Objective: cfg.SLOObjective}),
 		procSem: make(chan struct{}, cfg.Concurrency),
 		rooms:   make(map[string]*roomSession),
 	}
@@ -235,6 +258,11 @@ func New(cfg Config) *Server {
 
 // Config returns the normalized configuration the server runs with.
 func (s *Server) Config() Config { return s.cfg }
+
+// SLO returns the server's error-budget tracker (never nil after New); its
+// Handler backs the /slo endpoint and its Snapshot syncs the slo.serve.*
+// gauges into the default registry.
+func (s *Server) SLO() *slo.Tracker { return s.slo }
 
 // Draining reports whether admissions have been stopped.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -279,8 +307,10 @@ func (s *Server) Addr() string {
 //     queued requests to completion, so every request admitted before the
 //     drain gets a real response (possibly an expired-in-queue shed, never
 //     silence);
-//  3. snapshot — OBS_serve.json and QUALITY_serve.json are written
-//     atomically (fsync + rename) into SnapshotDir, if configured;
+//  3. snapshot — the SLO gauges sync into the registry, the access log (if
+//     configured) gets its final flush + fsync + close, and OBS_serve.json /
+//     QUALITY_serve.json are written atomically (fsync + rename) into
+//     SnapshotDir, if configured;
 //  4. teardown — the HTTP listener shuts down gracefully.
 //
 // Drain is idempotent; concurrent calls beyond the first return
@@ -310,6 +340,9 @@ func (s *Server) Drain(ctx context.Context) error {
 			break
 		}
 	}
+	// Final burn-rate evaluation so the drain snapshot's slo.serve.* gauges
+	// reflect the whole run.
+	s.slo.Snapshot()
 	if err := s.snapshot(); err != nil && flushErr == nil {
 		flushErr = err
 	}
@@ -323,6 +356,13 @@ func (s *Server) Drain(ctx context.Context) error {
 			}
 		}
 		<-s.servedDone
+	}
+	// Access log last — only after the HTTP shutdown have all in-flight
+	// handlers emitted their wide events, so this Close (flush + fsync) is
+	// the atomic final flush: nothing the daemon responded to is missing
+	// from disk.
+	if err := s.cfg.AccessLog.Close(); err != nil && flushErr == nil {
+		flushErr = fmt.Errorf("serve: drain: access log: %w", err)
 	}
 	return flushErr
 }

@@ -10,6 +10,7 @@ import (
 
 	"after/internal/dataset"
 	"after/internal/geom"
+	"after/internal/obs"
 	"after/internal/occlusion"
 	"after/internal/parallel"
 	"after/internal/resilience"
@@ -71,10 +72,19 @@ type RecResult struct {
 	// Fresh is false when the set came from hold-state degradation (deadline
 	// miss, exhausted retries) rather than a live stepper.
 	Fresh bool `json:"fresh"`
+	// Fused is true when the set came out of the room's fused multi-target
+	// pass rather than a solo guard step.
+	Fused bool `json:"fused"`
 	// BatchSize is how many requests the serving micro-batch coalesced.
 	BatchSize int `json:"batch_size"`
 	// QueueMs is how long the request waited for its batch, in milliseconds.
 	QueueMs float64 `json:"queue_ms"`
+	// RequestID is the X-Request-ID the request carried (client-supplied or
+	// server-minted) — the correlation key into the wide-event access log.
+	RequestID string `json:"request_id,omitempty"`
+	// SpanID is the request's serve.request span in the Chrome trace, when
+	// tracing was on; 0 otherwise.
+	SpanID uint64 `json:"span_id,omitempty"`
 }
 
 // roomSession is the live state of one room: the generated room structure,
@@ -284,8 +294,40 @@ func (s *Server) IngestFrame(roomID string, index int, raw []geom.Vec2) (FrameAc
 // the room's micro-batcher, blocking until the batch worker responds or ctx
 // is done. deadline <= 0 takes the server default; values above MaxDeadline
 // are clamped.
+//
+// This is the per-request bookkeeping point: the serve.request span covers
+// the whole call, the SLO tracker books the outcome, and the wide event —
+// one JSONL line explaining what happened to this exact request — lands in
+// the access log, whatever path (served, shed, expired, cancelled) the
+// request took.
 func (s *Server) Recommend(ctx context.Context, roomID string, target int, deadline time.Duration) (RecResult, error) {
 	start := time.Now()
+	reqID := RequestIDFrom(ctx)
+	if reqID == "" {
+		// Direct API callers (tests, embedders) skip the HTTP middleware;
+		// mint here so every wide event has a correlation key.
+		reqID = newRequestID()
+	}
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	sp := obs.Begin("serve.request")
+	res, err := s.recommend(ctx, start, sp.ID(), roomID, target, deadline)
+	sp.End()
+	if err == nil {
+		res.RequestID = reqID
+		res.SpanID = uint64(sp.ID())
+	}
+	s.finishRequest(start, deadline, reqID, uint64(sp.ID()), roomID, target, res, err)
+	return res, err
+}
+
+// recommend is Recommend's admission + wait body, separated so the wrapper
+// can bracket it with the request span and book the outcome exactly once.
+func (s *Server) recommend(ctx context.Context, start time.Time, spanID obs.SpanID, roomID string, target int, deadline time.Duration) (RecResult, error) {
 	if s.draining.Load() {
 		obsShedDrain.Inc()
 		return RecResult{}, shedErr(http.StatusServiceUnavailable, s.cfg.RetryAfter, "draining")
@@ -300,12 +342,6 @@ func (s *Server) Recommend(ctx context.Context, roomID string, target int, deadl
 	if !rs.haveFrame.Load() {
 		return RecResult{}, &APIError{Status: http.StatusConflict, Msg: "room has no frames yet; POST positions first"}
 	}
-	if deadline <= 0 {
-		deadline = s.cfg.DefaultDeadline
-	}
-	if deadline > s.cfg.MaxDeadline {
-		deadline = s.cfg.MaxDeadline
-	}
 
 	// Admission: global bound first (503 — the process is overloaded), then
 	// the room queue (429 — this room is hot; the client should back off).
@@ -317,11 +353,15 @@ func (s *Server) Recommend(ctx context.Context, roomID string, target int, deadl
 		target:   target,
 		deadline: start.Add(deadline),
 		enq:      start,
+		id:       RequestIDFrom(ctx),
+		spanID:   spanID,
+		qsp:      obs.BeginChild("serve.queue", spanID),
 		resc:     make(chan outcome, 1),
 	}
 	s.queued.Add(1)
 	obsQueueGauge.Set(float64(s.queued.Load()))
 	if !rs.bat.enqueue(p) {
+		p.qsp.End()
 		s.queued.Add(-1)
 		if s.draining.Load() {
 			obsShedDrain.Inc()
@@ -343,6 +383,87 @@ func (s *Server) Recommend(ctx context.Context, roomID string, target int, deadl
 		// drop the outcome into the buffered channel.
 		return RecResult{}, &APIError{Status: http.StatusServiceUnavailable, Msg: "client cancelled"}
 	}
+}
+
+// wideEvent is one access-log record: the full story of a single request on
+// one JSONL line.
+type wideEvent struct {
+	TS         string  `json:"ts"`
+	RequestID  string  `json:"request_id"`
+	Room       string  `json:"room"`
+	Target     int     `json:"target"`
+	Status     int     `json:"status"`
+	ShedReason string  `json:"shed_reason,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	ServedBy   string  `json:"served_by,omitempty"`
+	Fresh      bool    `json:"fresh"`
+	Fused      bool    `json:"fused"`
+	F32        bool    `json:"f32"`
+	Step       int     `json:"step,omitempty"`
+	BatchSize  int     `json:"batch_size,omitempty"`
+	QueueMs    float64 `json:"queue_ms,omitempty"`
+	DeadlineMs float64 `json:"deadline_ms"`
+	SpentMs    float64 `json:"spent_ms"`
+	SpanID     uint64  `json:"span_id,omitempty"`
+}
+
+// finishRequest books one finished request into the SLO tracker and the
+// wide-event access log.
+func (s *Server) finishRequest(start time.Time, deadline time.Duration, reqID string, spanID uint64, roomID string, target int, res RecResult, err error) {
+	spent := time.Since(start)
+	status := http.StatusOK
+	var ae *APIError
+	if err != nil {
+		var ok bool
+		if ae, ok = err.(*APIError); !ok {
+			status = http.StatusInternalServerError
+		} else {
+			status = ae.Status
+		}
+	}
+	// SLO accounting: sheds (429/503) and server errors burn budget, as do
+	// degraded (stale) serves — the client got something, but not the fresh
+	// set the objective promises. Pure client errors (bad target, unknown
+	// room) are not the server's failure and stay out of the budget.
+	switch {
+	case err == nil:
+		s.slo.Record(res.Fresh)
+	case status >= 500 || status == http.StatusTooManyRequests:
+		s.slo.Record(false)
+	}
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	ev := wideEvent{
+		TS:         start.UTC().Format(time.RFC3339Nano),
+		RequestID:  reqID,
+		Room:       roomID,
+		Target:     target,
+		Status:     status,
+		Fresh:      err == nil && res.Fresh,
+		Fused:      res.Fused,
+		F32:        s.cfg.Float32,
+		Step:       res.Step,
+		ServedBy:   res.ServedBy,
+		BatchSize:  res.BatchSize,
+		QueueMs:    res.QueueMs,
+		DeadlineMs: float64(deadline) / float64(time.Millisecond),
+		SpentMs:    float64(spent) / float64(time.Millisecond),
+		SpanID:     spanID,
+	}
+	if ae != nil {
+		ev.Error = ae.Msg
+		if ae.RetryAfter > 0 {
+			ev.ShedReason = ae.Msg
+		}
+	} else if err != nil {
+		ev.Error = err.Error()
+	}
+	// Tail sampling: every shed, error, degraded serve, or request that
+	// burned ≥80% of its deadline budget is kept; the healthy bulk is
+	// down-sampled by the writer.
+	keep := err != nil || !res.Fresh || spent*5 >= deadline*4
+	s.cfg.AccessLog.Log(ev, keep)
 }
 
 // processBatch serves one coalesced batch: shed requests that expired in the
@@ -376,6 +497,12 @@ func (rs *roomSession) processBatch(batch []*pending) {
 	obsBatchedReqs.Add(int64(len(batch)))
 	now := time.Now()
 
+	// The batch span is the cross-goroutine join point: it runs on the
+	// worker, and LinkFrom ties it back to every member request span so the
+	// exported trace shows which N requests one coalesced pass served.
+	bsp := obs.Begin("serve.batch")
+	defer bsp.End()
+
 	rs.fmu.Lock()
 	pos := rs.pos
 	step := rs.frameIdx
@@ -385,12 +512,14 @@ func (rs *roomSession) processBatch(batch []*pending) {
 	// now beats a result the client has already abandoned.
 	live := make([]*pending, 0, len(batch))
 	for _, p := range batch {
+		p.qsp.End() // queue wait is over either way
 		obsQueueWait.Observe(now.Sub(p.enq))
 		if !p.deadline.IsZero() && !now.Before(p.deadline) {
 			obsExpired.Inc()
 			p.resc <- outcome{err: shedErr(http.StatusServiceUnavailable, rs.srv.cfg.RetryAfter, "deadline expired in queue")}
 			continue
 		}
+		bsp.LinkFrom(p.spanID)
 		live = append(live, p)
 	}
 	if len(live) == 0 {
@@ -444,7 +573,7 @@ func (rs *roomSession) processBatch(batch []*pending) {
 		}
 		return budget
 	}
-	respond := func(i int, rendered []bool, fresh bool) {
+	respond := func(i int, rendered []bool, fresh, fused bool) {
 		target := order[i]
 		group := groups[target]
 		shown := make([]int, 0, len(rendered))
@@ -471,6 +600,7 @@ func (rs *roomSession) processBatch(batch []*pending) {
 				Rendered:  shown,
 				ServedBy:  servedBy,
 				Fresh:     fresh,
+				Fused:     fused,
 				BatchSize: batchSize,
 				QueueMs:   float64(now.Sub(p.enq)) / float64(time.Millisecond),
 			}}
@@ -511,6 +641,12 @@ func (rs *roomSession) processBatch(batch []*pending) {
 				budget = b
 			}
 		}
+		// Parent the fused session's batch.step (and its mia/pdr/lwp/decode
+		// phase spans) under this batch span, tying the core forward pass
+		// into the request trace.
+		if tc, ok := rs.batch.(sim.TraceCarrier); ok {
+			tc.SetTraceParent(bsp.ID())
+		}
 		stepStart := time.Now()
 		outs, soloFallback := rs.fusedStep(step, targets, frames, budget)
 		obsStepLat.Observe(time.Since(stepStart))
@@ -521,7 +657,7 @@ func (rs *roomSession) processBatch(batch []*pending) {
 			obsFusedTargets.Add(int64(len(fused)))
 			for j, i := range fused {
 				rendered, fresh := gs[i].AcceptFresh(outs[j])
-				respond(i, rendered, fresh)
+				respond(i, rendered, fresh, true)
 			}
 		case soloFallback:
 			// The pass panicked: this frame's members step solo through
@@ -530,7 +666,7 @@ func (rs *roomSession) processBatch(batch []*pending) {
 		default:
 			// Deadline miss: every member serves stale, like a solo miss.
 			for _, i := range fused {
-				respond(i, gs[i].Hold(), false)
+				respond(i, gs[i].Hold(), false, true)
 			}
 		}
 	}
@@ -539,11 +675,12 @@ func (rs *roomSession) processBatch(batch []*pending) {
 		i := solo[j]
 		target := order[i]
 		budget := groupBudget(groups[target])
+		gs[i].SetTraceParent(bsp.ID())
 		stepStart := time.Now()
 		frame := occlusion.BuildStatic(target, pos, rs.room.AvatarRadius)
 		rendered, fresh := gs[i].Step(step, frame, budget)
 		obsStepLat.Observe(time.Since(stepStart))
-		respond(i, rendered, fresh)
+		respond(i, rendered, fresh, false)
 	})
 }
 

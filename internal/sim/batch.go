@@ -20,6 +20,16 @@ type BatchStepper interface {
 	StepTargets(t int, targets []int, frames []*occlusion.StaticGraph) [][]bool
 }
 
+// TraceCarrier is the optional trace-propagation capability: a stepper (or a
+// wrapper around one) that can parent its internal spans under a caller's
+// span. The serve micro-batcher sets its batch span as the parent before
+// each fused pass so the core forward's phase spans hang off the request
+// trace. Wrappers that delegate StepTargets must forward this too, or the
+// chain breaks at the wrapper.
+type TraceCarrier interface {
+	SetTraceParent(parent obs.SpanID)
+}
+
 // BatchRecommender is a Recommender whose model can serve a whole room at
 // once: StartBatch returns one shared session that amortizes the per-room
 // portion of the forward pass (aggregation, message passing) across every
