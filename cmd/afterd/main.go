@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"after/internal/chaos"
 	"after/internal/exp"
 	"after/internal/obs"
+	"after/internal/obs/prof"
 	"after/internal/obs/quality"
 	"after/internal/obs/wide"
 	"after/internal/parallel"
@@ -73,6 +75,12 @@ func realMain() int {
 		accessLog   = flag.String("access-log", "", "write one wide-event JSONL record per request here (tail-sampled, size-capped rotation)")
 		accessN     = flag.Int("access-sample", wide.DefaultSampleN, "keep 1-in-N healthy requests in the access log (shed/degraded/slow always kept; <0 keeps all)")
 		sloObj      = flag.Float64("slo-objective", 0.99, "availability objective for the error-budget tracker behind /slo")
+		profOn      = flag.Bool("prof", true, "continuous profiling: windowed CPU profiles with (room, rec, phase) labels, aggregated into /metrics and PROF_serve.json at drain")
+		profWindow  = flag.Duration("prof-window", 10*time.Second, "continuous-profiling window length")
+		wdMult      = flag.Float64("watchdog-mult", 8, "stall watchdog fires when a batch runs this multiple of its grace budget (0 disables)")
+		incidentDir = flag.String("incident-dir", "", "directory for watchdog incident bundles (default: -snapshot-dir)")
+		mutexFrac   = flag.Int("mutexprofile", 0, "runtime.SetMutexProfileFraction: sample 1-in-N mutex contention events into /debug/pprof/mutex (0 off)")
+		blockRate   = flag.Int("blockprofile", 0, "runtime.SetBlockProfileRate: sample blocking events >= N ns into /debug/pprof/block (0 off)")
 	)
 	flag.Parse()
 	parallel.SetLimit(*workers)
@@ -80,6 +88,12 @@ func realMain() int {
 	quality.SetEnabled(*obsOn)
 	if *tracePath != "" {
 		obs.SetTracing(true)
+	}
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
 	}
 
 	var rec sim.Recommender
@@ -122,6 +136,41 @@ func realMain() int {
 		fmt.Printf("afterd: access log at %s (1-in-%d healthy sampling, tail always kept)\n", *accessLog, *accessN)
 	}
 
+	// Continuous profiling + runtime health: the profiler cycles windowed CPU
+	// profiles (folding labeled samples into prof.* gauges), the health
+	// collector snapshots runtime/metrics into health.* gauges, and both ride
+	// every /metrics scrape. Drain folds the final window into PROF_serve.json.
+	var profiler *prof.Profiler
+	if *profOn {
+		profiler = prof.Start(prof.Options{Window: *profWindow})
+		defer profiler.Stop()
+		stopHealth := prof.StartHealth(nil, *profWindow)
+		defer stopHealth()
+		fmt.Printf("afterd: continuous profiling on (%v windows)\n", *profWindow)
+	}
+	// Stall watchdog: any batch still running after wdMult x the straggler
+	// grace dumps an incident bundle (goroutines, short CPU profile, recent
+	// wide events) for post-mortem without an attached debugger.
+	var watchdog *prof.Watchdog
+	if *wdMult > 0 {
+		dir := *incidentDir
+		if dir == "" {
+			dir = *snapshotDir
+		}
+		if dir != "" {
+			watchdog = prof.NewWatchdog(prof.WatchdogConfig{
+				Multiple:     *wdMult,
+				Dir:          dir,
+				RecentEvents: access.Recent,
+				OnIncident: func(inc prof.Incident) {
+					fmt.Fprintf(os.Stderr, "afterd: WATCHDOG: %s stalled %v (budget %v): bundle at %s\n",
+						inc.Name, inc.Stalled.Round(time.Millisecond), inc.Budget, inc.Dir)
+				},
+			})
+			defer watchdog.Close()
+		}
+	}
+
 	srv := serve.New(serve.Config{
 		Primary:         rec,
 		Fallbacks:       []sim.Recommender{baselines.Nearest{}},
@@ -136,6 +185,8 @@ func realMain() int {
 		AccessLog:       access,
 		Float32:         *f32,
 		SLOObjective:    *sloObj,
+		Watchdog:        watchdog,
+		Profiler:        profiler,
 	})
 	bound, err := srv.Start(*addr)
 	if err != nil {

@@ -1,0 +1,112 @@
+// Command afterprof inspects the profiling artifacts the rest of the repo
+// produces: raw pprof CPU profiles (.pb.gz — from -cpuprofile, the
+// continuous profiler's cpu_serve.pb.gz, or a watchdog incident bundle) and
+// continuous-profiling summaries (PROF_*.json from aftersim or an afterd
+// drain). It exists so CI and humans can read and diff profiles without
+// `go tool pprof` plumbing:
+//
+//	afterprof top cpu.pb.gz             # flat-CPU top table
+//	afterprof labels PROF_bench.json    # per-phase / per-rec / per-room CPU
+//	afterprof diff PROF_baseline.json PROF_bench.json
+//	afterprof diff base.pb.gz cur.pb.gz # raw profiles diff too
+//
+// Both commands accept either artifact kind for any argument: a file whose
+// first byte is '{' parses as a PROF summary, anything else as a (possibly
+// gzipped) pprof protobuf. The diff output is the same attribution table the
+// bench gate prints on a perf regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"after/internal/obs/prof"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: afterprof <top|labels|diff> [-n N] <artifact> [artifact]\n")
+		flag.PrintDefaults()
+	}
+	if len(os.Args) < 2 {
+		flag.Usage()
+		return 2
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	topN := fs.Int("n", 25, "rows in the symbol tables")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		return 2
+	}
+	args := fs.Args()
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "afterprof: %v\n", err)
+		return 1
+	}
+	switch cmd {
+	case "top":
+		if len(args) != 1 {
+			return fail(fmt.Errorf("top wants one artifact, got %d", len(args)))
+		}
+		s, err := loadSummary(args[0], *topN)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("%s: %.2fs CPU sampled, %.0f%% labeled\n", args[0], s.CPUSeconds, 100*s.LabeledFraction)
+		fmt.Print(prof.FormatTop(s, *topN))
+	case "labels":
+		if len(args) != 1 {
+			return fail(fmt.Errorf("labels wants one artifact, got %d", len(args)))
+		}
+		s, err := loadSummary(args[0], *topN)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("%s: %.2fs CPU sampled, %.0f%% labeled\n", args[0], s.CPUSeconds, 100*s.LabeledFraction)
+		fmt.Print(prof.FormatPhases(s))
+	case "diff":
+		if len(args) != 2 {
+			return fail(fmt.Errorf("diff wants <base> <current>, got %d args", len(args)))
+		}
+		base, err := loadSummary(args[0], *topN)
+		if err != nil {
+			return fail(err)
+		}
+		cur, err := loadSummary(args[1], *topN)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("base %s: %.2fs CPU; current %s: %.2fs CPU\n",
+			args[0], base.CPUSeconds, args[1], cur.CPUSeconds)
+		fmt.Print(prof.FormatDiff(base, cur, *topN))
+	default:
+		flag.Usage()
+		return 2
+	}
+	return 0
+}
+
+// loadSummary reads one artifact as a prof.Summary: PROF_*.json parses
+// directly, anything else goes through the pprof protobuf parser.
+func loadSummary(path string, topN int) (prof.Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return prof.Summary{}, err
+	}
+	if len(data) > 0 && data[0] == '{' {
+		var s prof.Summary
+		if err := json.Unmarshal(data, &s); err != nil {
+			return prof.Summary{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return s, nil
+	}
+	s, err := prof.SummarizeProfile(data, topN)
+	if err != nil {
+		return prof.Summary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -65,9 +65,15 @@ import (
 
 	"after/internal/exp"
 	"after/internal/obs"
+	"after/internal/obs/prof"
 	"after/internal/obs/quality"
 	"after/internal/parallel"
 )
+
+// profiler is the run's continuous profiler (nil with -prof=false or
+// -obs=false; every method is nil-safe). Package-level so runBench can
+// snapshot the current aggregate for regression attribution.
+var profiler *prof.Profiler
 
 // main defers to realMain so the profile/trace-flushing defers run before
 // the process exits (os.Exit would skip them).
@@ -89,6 +95,10 @@ func realMain() int {
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /quality on this address (e.g. :6060)")
 		tracePath  = flag.String("trace", "", "capture the span stream as Chrome trace-event JSON to this file")
 		curvePath  = flag.String("traincurve", "", "append per-epoch training-curve records (JSONL) to this file")
+		profOn     = flag.Bool("prof", true, "continuous profiling: windowed CPU profiles with (room, rec, phase) labels; writes PROF_<exp>.json per experiment (requires -obs)")
+		profWindow = flag.Duration("prof-window", 10*time.Second, "continuous-profiling window length")
+		mutexFrac  = flag.Int("mutexprofile", 0, "runtime.SetMutexProfileFraction: sample 1-in-N mutex contention events into /debug/pprof/mutex (0 off)")
+		blockRate  = flag.Int("blockprofile", 0, "runtime.SetBlockProfileRate: sample blocking events >= N ns into /debug/pprof/block (0 off)")
 	)
 	flag.Parse()
 	opts := exp.Options{Scale: *scale, Quick: *quick, Seed: *seed}
@@ -114,6 +124,12 @@ func realMain() int {
 	// live in the obs registry), so -obs=false silences it too.
 	recordQuality := *qualityOn && recordObs
 	quality.SetEnabled(recordQuality)
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	// Profiling set-up is fail-fast: both output files are created before any
 	// work runs, so a typo'd path dies in milliseconds instead of after a
@@ -152,6 +168,13 @@ func realMain() int {
 				fmt.Fprintf(os.Stderr, "aftersim: -memprofile: %v\n", err)
 			}
 		}()
+	}
+	// The continuous profiler starts after a -cpuprofile (if any) has claimed
+	// the process's single CPU-profile slot: the explicit whole-run profile
+	// wins, and the continuous loop counts skipped windows instead of failing.
+	if *profOn && recordObs {
+		profiler = prof.Start(prof.Options{Window: *profWindow})
+		defer profiler.Stop()
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -276,6 +299,9 @@ func realMain() int {
 			// every package's cached metric handles valid.
 			obs.Default().Reset()
 		}
+		// The profiler aggregate resets in step with the registry so each
+		// PROF_<exp>.json covers exactly one experiment.
+		profiler.Reset()
 		// bench/scale are performance measurements: the per-step oracle in
 		// the quality layer would distort exactly the latencies they gate on,
 		// so quality pauses for them and resumes afterwards.
@@ -293,12 +319,28 @@ func realMain() int {
 		}
 		fmt.Println(out)
 		if recordObs {
+			// Runtime-health gauges (GC pauses, heap live/goal, goroutines,
+			// scheduler latency) snapshot into the registry right before the
+			// write, so every OBS_<exp>.json carries the process state its
+			// experiment left behind.
+			prof.CollectHealth(nil)
 			obsPath := "OBS_" + id + ".json"
 			if err := obs.Default().WriteJSON(obsPath); err != nil {
 				fmt.Fprintf(os.Stderr, "aftersim: %s: %v\n", id, err)
 				return 1
 			}
 			fmt.Printf("wrote %s\n", obsPath)
+		}
+		if profiler != nil {
+			profiler.Rotate() // fold the live window before snapshotting
+			profPath := "PROF_" + id + ".json"
+			if err := profiler.WriteJSON(profPath); err != nil {
+				fmt.Fprintf(os.Stderr, "aftersim: %s: %v\n", id, err)
+				return 1
+			}
+			snap := profiler.Snapshot()
+			fmt.Printf("wrote %s (%.2fs CPU sampled, %.0f%% labeled)\n",
+				profPath, snap.CPUSeconds, 100*snap.LabeledFraction)
 		}
 		if expQuality {
 			snap := quality.Default().Snapshot()
@@ -383,6 +425,14 @@ func runBench(o exp.Options) (string, error) {
 	}
 	out := r.Format() + "wrote " + path
 	if path != "BENCH_latest.json" {
+		// The baseline run also claims the profile baseline, so a later
+		// regressing run has symbol-level CPU shares to diff against.
+		if profiler != nil {
+			profiler.Rotate()
+			if err := profiler.WriteJSON("PROF_baseline.json"); err == nil {
+				out += "\nwrote PROF_baseline.json (profile baseline for regression attribution)"
+			}
+		}
 		return out, nil
 	}
 	base, err := exp.ReadBenchReport("BENCH_baseline.json")
@@ -396,12 +446,44 @@ func runBench(o exp.Options) (string, error) {
 	}
 	msg := "bench compare: per-step latency regressions vs BENCH_baseline.json:\n  " +
 		strings.Join(regs, "\n  ")
+	// Perf-regression attribution: when a profile baseline exists, diff its
+	// top symbols against this run's aggregate so the gate names the code
+	// that got slower, not just the recommender row that tripped.
+	if attr := benchAttribution(); attr != "" {
+		msg += "\n" + attr
+	}
 	if runtime.NumCPU() == 1 {
 		// 1-vCPU runners (the baseline machine class) are too noisy for a
 		// hard gate; surface the regression but do not fail.
 		return out + "\nWARNING (advisory on 1 vCPU): " + msg, nil
 	}
 	return "", fmt.Errorf("%s", msg)
+}
+
+// benchAttribution renders the symbol-level CPU diff between
+// PROF_baseline.json and the live profiler aggregate, or "" when either side
+// is missing (no profiler, no baseline, or a run whose every window was
+// skipped by an explicit -cpuprofile owning the profile slot).
+func benchAttribution() string {
+	if profiler == nil {
+		return ""
+	}
+	data, err := os.ReadFile("PROF_baseline.json")
+	if err != nil {
+		return ""
+	}
+	var base prof.Summary
+	if err := json.Unmarshal(data, &base); err != nil {
+		return ""
+	}
+	profiler.Rotate()
+	cur := profiler.Snapshot()
+	if base.CPUSeconds <= 0 || cur.CPUSeconds <= 0 {
+		return ""
+	}
+	return "perf attribution (PROF_baseline.json vs this run):\n" +
+		prof.FormatDiff(base, cur, 15) +
+		"current per-phase attribution:\n" + prof.FormatPhases(cur)
 }
 
 // runServe measures the serving daemon under open-loop load, persists

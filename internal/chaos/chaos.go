@@ -24,6 +24,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/geom"
 	"after/internal/obs"
+	"after/internal/obs/prof"
 	"after/internal/occlusion"
 	"after/internal/resilience"
 	"after/internal/sim"
@@ -230,6 +231,14 @@ func (s *faultyStepper) Step(t int, frame *occlusion.StaticGraph) []bool {
 	return s.inner.Step(t, frame)
 }
 
+// SetProfLabels forwards prof.Carrier through the fault wrapper so chaos
+// runs keep their continuous-profiling attribution.
+func (s *faultyStepper) SetProfLabels(l *prof.Labels) {
+	if pc, ok := s.inner.(prof.Carrier); ok {
+		pc.SetProfLabels(l)
+	}
+}
+
 // faultyBatchRecommender is the batch-capable variant of faultyRecommender,
 // returned by WrapRecommender when the inner recommender implements
 // sim.BatchRecommender. Per-episode steppers keep their per-target fault
@@ -274,6 +283,14 @@ func (s *faultyBatchStepper) StepTargets(t int, targets []int, frames []*occlusi
 func (s *faultyBatchStepper) SetTraceParent(parent obs.SpanID) {
 	if tc, ok := s.inner.(sim.TraceCarrier); ok {
 		tc.SetTraceParent(parent)
+	}
+}
+
+// SetProfLabels forwards prof.Carrier through the fault wrapper, mirroring
+// SetTraceParent.
+func (s *faultyBatchStepper) SetProfLabels(l *prof.Labels) {
+	if pc, ok := s.inner.(prof.Carrier); ok {
+		pc.SetProfLabels(l)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"after/internal/dataset"
 	"after/internal/obs"
+	"after/internal/obs/prof"
 	"after/internal/occlusion"
 	"after/internal/tensor"
 )
@@ -94,6 +95,10 @@ type BatchSession struct {
 	// touched under mu.
 	traceParent atomic.Uint64
 	curSpan     obs.SpanID
+
+	// profLabels carries the (room, rec) pprof label set phase switches key
+	// off (atomic for the same reason as traceParent; nil = unlabeled).
+	profLabels atomic.Pointer[prof.Labels]
 }
 
 // SetTraceParent parents subsequent StepTargets spans (batch.step and its
@@ -101,6 +106,15 @@ type BatchSession struct {
 // the serving layer's batch span adopts the fused forward pass.
 func (b *BatchSession) SetTraceParent(parent obs.SpanID) {
 	b.traceParent.Store(uint64(parent))
+}
+
+// SetProfLabels attaches a (room, rec) pprof label set to subsequent
+// StepTargets calls, implementing prof.Carrier: each forward phase switches
+// the calling goroutine to its phase-refined labels so continuous-profiler
+// samples attribute to the same mia/pdr/lwp/decode/spmm coordinates the span
+// tracer names. nil detaches.
+func (b *BatchSession) SetProfLabels(l *prof.Labels) {
+	b.profLabels.Store(l)
 }
 
 // StartBatchSession begins batched inference over room. Every target of the
@@ -174,6 +188,12 @@ func (b *BatchSession) StepTargets(t int, targets []int, frames []*occlusion.Sta
 	sp := obs.BeginChild("batch.step", obs.SpanID(b.traceParent.Load()))
 	b.curSpan = sp.ID()
 	defer sp.End()
+	// Enter the batch phase for the fused pass; restore the ambient (room,
+	// rec) labels on exit so the caller's goroutine doesn't keep reporting a
+	// finished phase. Load-and-branch no-ops when profiling is off.
+	lbl := b.profLabels.Load()
+	lbl.Set(prof.PhaseBatch)
+	defer lbl.Set(prof.PhaseNone)
 	if b.model.denseAdj {
 		// Dense-adjacency compat: the bench/test knob has no batched kernel,
 		// so fall back to per-target sequential Sessions. Also serves as the
@@ -183,6 +203,7 @@ func (b *BatchSession) StepTargets(t int, targets []int, frames []*occlusion.Sta
 			st := b.state(target)
 			if st.seq == nil {
 				st.seq = b.model.StartEpisode(b.room, target)
+				st.seq.SetProfLabels(lbl)
 			}
 			out[k] = st.seq.Step(t, frames[k])
 		}
@@ -205,12 +226,18 @@ const (
 // the dense term fully materialized first, the aggregated term second, then
 // a single elementwise add — replicates GraphConv.ForwardSparse exactly, so
 // every column stays bit-identical to the sequential path.
-func convWide(dst, in *tensor.Matrix, adjs []*tensor.CSR, m1, m2 *tensor.Matrix, act int) {
+//
+// lbl/ret refine the profiling attribution: the sparse gather runs under the
+// spmm phase label and the enclosing phase (ret) is restored afterwards, so
+// flamegraphs separate SpMM bandwidth from the dense projections.
+func convWide(dst, in *tensor.Matrix, adjs []*tensor.CSR, m1, m2 *tensor.Matrix, act int, lbl *prof.Labels, ret prof.Phase) {
 	ws := tensor.Scratch()
 	k := len(adjs)
 	tensor.MatMulBlocksInto(dst, in, m1, k)
 	msg := ws.Get(in.Rows, in.Cols)
+	lbl.Set(prof.PhaseSpMM)
 	tensor.SpMMBatchInto(msg, adjs, in)
+	lbl.Set(ret)
 	agg := ws.Get(dst.Rows, dst.Cols)
 	tensor.MatMulBlocksInto(agg, msg, m2, k)
 	ws.Put(msg)
@@ -231,8 +258,10 @@ func (b *BatchSession) step64(t int, targets []int, frames []*occlusion.StaticGr
 	n, bk, hid := room.N, len(targets), m.cfg.Hidden
 	useLWP := m.cfg.UseLWP
 	ws := tensor.Scratch()
+	lbl := b.profLabels.Load()
 
 	spMIA := obs.BeginChild("mia", b.curSpan)
+	lbl.Set(prof.PhaseMIA)
 	if cap(b.adjs) < bk {
 		b.adjs = make([]*tensor.CSR, bk)
 	}
@@ -253,19 +282,22 @@ func (b *BatchSession) step64(t int, targets []int, frames []*occlusion.StaticGr
 	spMIA.End()
 
 	spPDR := obs.BeginChild("pdr", b.curSpan)
+	lbl.Set(prof.PhasePDR)
 	h := ws.Get(n, bk*hid)
-	convWide(h, x, adjs, m.pdr1.M1.Value, m.pdr1.M2.Value, actReLU)
+	convWide(h, x, adjs, m.pdr1.M1.Value, m.pdr1.M2.Value, actReLU, lbl, prof.PhasePDR)
 	rt := ws.Get(n, bk)
-	convWide(rt, h, adjs, m.pdr2.M1.Value, m.pdr2.M2.Value, actSigmoid)
+	convWide(rt, h, adjs, m.pdr2.M1.Value, m.pdr2.M2.Value, actSigmoid, lbl, prof.PhasePDR)
 	spPDR.End()
 
 	r := ws.Get(n, bk)
 	if !useLWP {
+		lbl.Set(prof.PhaseBatch)
 		for i, mv := range mask.Data {
 			r.Data[i] = mv * rt.Data[i]
 		}
 	} else {
 		spLWP := obs.BeginChild("lwp", b.curSpan)
+		lbl.Set(prof.PhaseLWP)
 		lwpWidth := featureDim + deltaDim + hid + 1
 		lwpIn := ws.Get(n, bk*lwpWidth)
 		// Assemble [x̂ ‖ Δ ‖ h_{t-1} ‖ r_{t-1}] per column block — the wide
@@ -281,11 +313,11 @@ func (b *BatchSession) step64(t int, targets []int, frames []*occlusion.StaticGr
 			}
 		}
 		z1 := ws.Get(n, bk*hid)
-		convWide(z1, lwpIn, adjs, m.lwp1.M1.Value, m.lwp1.M2.Value, actReLU)
+		convWide(z1, lwpIn, adjs, m.lwp1.M1.Value, m.lwp1.M2.Value, actReLU, lbl, prof.PhaseLWP)
 		z2 := ws.Get(n, bk*hid)
-		convWide(z2, z1, adjs, m.lwp2.M1.Value, m.lwp2.M2.Value, actReLU)
+		convWide(z2, z1, adjs, m.lwp2.M1.Value, m.lwp2.M2.Value, actReLU, lbl, prof.PhaseLWP)
 		sigma := ws.Get(n, bk)
-		convWide(sigma, z2, adjs, m.lwp3.M1.Value, m.lwp3.M2.Value, actSigmoid)
+		convWide(sigma, z2, adjs, m.lwp3.M1.Value, m.lwp3.M2.Value, actSigmoid, lbl, prof.PhaseLWP)
 		// Preservation gate, in the sequential scalar order:
 		// r = m ⊗ [(1−σ)⊗r̃ + σ⊗r_{t−1}].
 		for i, mv := range mask.Data {
@@ -301,6 +333,7 @@ func (b *BatchSession) step64(t int, targets []int, frames []*occlusion.StaticGr
 
 	// Scatter recurrent state back and decode each target's column.
 	spDecode := obs.BeginChild("decode", b.curSpan)
+	lbl.Set(prof.PhaseDecode)
 	out := make([][]bool, bk)
 	col := ws.Get(n, 1)
 	for k, target := range targets {
@@ -501,8 +534,10 @@ func (b *BatchSession) step32(t int, targets []int, frames []*occlusion.StaticGr
 	n, bk, hid := room.N, len(targets), m.cfg.Hidden
 	useLWP := m.cfg.UseLWP
 	ws := tensor.Scratch32()
+	lbl := b.profLabels.Load()
 
 	spMIA := obs.BeginChild("mia", b.curSpan)
+	lbl.Set(prof.PhaseMIA)
 	if cap(b.adjs) < bk {
 		b.adjs = make([]*tensor.CSR, bk)
 	}
@@ -523,19 +558,22 @@ func (b *BatchSession) step32(t int, targets []int, frames []*occlusion.StaticGr
 	spMIA.End()
 
 	spPDR := obs.BeginChild("pdr", b.curSpan)
+	lbl.Set(prof.PhasePDR)
 	h := ws.Get(n, bk*hid)
-	convWide32(h, x, adjs, b.w32.pdr1M1, b.w32.pdr1M2, actReLU)
+	convWide32(h, x, adjs, b.w32.pdr1M1, b.w32.pdr1M2, actReLU, lbl, prof.PhasePDR)
 	rt := ws.Get(n, bk)
-	convWide32(rt, h, adjs, b.w32.pdr2M1, b.w32.pdr2M2, actSigmoid)
+	convWide32(rt, h, adjs, b.w32.pdr2M1, b.w32.pdr2M2, actSigmoid, lbl, prof.PhasePDR)
 	spPDR.End()
 
 	r := ws.Get(n, bk)
 	if !useLWP {
+		lbl.Set(prof.PhaseBatch)
 		for i, mv := range mask.Data {
 			r.Data[i] = mv * rt.Data[i]
 		}
 	} else {
 		spLWP := obs.BeginChild("lwp", b.curSpan)
+		lbl.Set(prof.PhaseLWP)
 		lwpWidth := featureDim + deltaDim + hid + 1
 		lwpIn := ws.Get(n, bk*lwpWidth)
 		for i := 0; i < n; i++ {
@@ -549,11 +587,11 @@ func (b *BatchSession) step32(t int, targets []int, frames []*occlusion.StaticGr
 			}
 		}
 		z1 := ws.Get(n, bk*hid)
-		convWide32(z1, lwpIn, adjs, b.w32.lwp1M1, b.w32.lwp1M2, actReLU)
+		convWide32(z1, lwpIn, adjs, b.w32.lwp1M1, b.w32.lwp1M2, actReLU, lbl, prof.PhaseLWP)
 		z2 := ws.Get(n, bk*hid)
-		convWide32(z2, z1, adjs, b.w32.lwp2M1, b.w32.lwp2M2, actReLU)
+		convWide32(z2, z1, adjs, b.w32.lwp2M1, b.w32.lwp2M2, actReLU, lbl, prof.PhaseLWP)
 		sigma := ws.Get(n, bk)
-		convWide32(sigma, z2, adjs, b.w32.lwp3M1, b.w32.lwp3M2, actSigmoid)
+		convWide32(sigma, z2, adjs, b.w32.lwp3M1, b.w32.lwp3M2, actSigmoid, lbl, prof.PhaseLWP)
 		for i, mv := range mask.Data {
 			s := sigma.Data[i]
 			r.Data[i] = mv * ((1-s)*rt.Data[i] + s*prevR.Data[i])
@@ -566,6 +604,7 @@ func (b *BatchSession) step32(t int, targets []int, frames []*occlusion.StaticGr
 	}
 
 	spDecode := obs.BeginChild("decode", b.curSpan)
+	lbl.Set(prof.PhaseDecode)
 	out := make([][]bool, bk)
 	col := tensor.Scratch().Get(n, 1)
 	for k, target := range targets {
@@ -602,7 +641,7 @@ func (b *BatchSession) step32(t int, targets []int, frames []*occlusion.StaticGr
 // output width (1 or 8 columns instead of 8 or 16), roughly halving the
 // model's total SpMM traffic. Float64 never reassociates: its accumulation
 // order is contractual.
-func convWide32(dst, in *tensor.Matrix32, adjs []*tensor.CSR, m1, m2 *tensor.Matrix32, act int) {
+func convWide32(dst, in *tensor.Matrix32, adjs []*tensor.CSR, m1, m2 *tensor.Matrix32, act int, lbl *prof.Labels, ret prof.Phase) {
 	ws := tensor.Scratch32()
 	k := len(adjs)
 	din, dout := m2.Rows, m2.Cols
@@ -612,11 +651,15 @@ func convWide32(dst, in *tensor.Matrix32, adjs []*tensor.CSR, m1, m2 *tensor.Mat
 		hm := ws.Get(in.Rows, k*dout)
 		tensor.MatMulBlocksInto32(hm, in, m2, k)
 		agg = ws.Get(dst.Rows, dst.Cols)
+		lbl.Set(prof.PhaseSpMM)
 		tensor.SpMMBatchInto32(agg, adjs, hm)
+		lbl.Set(ret)
 		ws.Put(hm)
 	} else {
 		msg := ws.Get(in.Rows, in.Cols)
+		lbl.Set(prof.PhaseSpMM)
 		tensor.SpMMBatchInto32(msg, adjs, in)
+		lbl.Set(ret)
 		agg = ws.Get(dst.Rows, dst.Cols)
 		tensor.MatMulBlocksInto32(agg, msg, m2, k)
 		ws.Put(msg)
@@ -752,3 +795,7 @@ func (b *BatchSession) TargetStepper(target int) interface {
 func (v *targetView) Step(t int, frame *occlusion.StaticGraph) []bool {
 	return v.b.StepTargets(t, []int{v.target}, []*occlusion.StaticGraph{frame})[0]
 }
+
+// SetProfLabels forwards the profiling capability to the shared session so a
+// solo episode stepped through the view is attributed like a fused one.
+func (v *targetView) SetProfLabels(l *prof.Labels) { v.b.SetProfLabels(l) }

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+
+	"after/internal/dataset"
+	"after/internal/obs/prof"
+	"after/internal/occlusion"
+	"after/internal/parallel"
+)
+
+// TestBatchProfLabelPropagation pins the continuous-profiling attribution
+// contract on the serving-path kernel: a fused 16-target batch stepped under
+// a CPU profile must produce core/tensor samples carrying the session's room
+// label and a known phase label — at one worker (everything on the calling
+// goroutine) and at eight (tensor kernels fanning out over the pool, where
+// labels must survive via goroutine inheritance).
+func TestBatchProfLabelPropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cpu profiling skipped in -short")
+	}
+	room, err := dataset.Generate(dataset.Config{
+		Kind: dataset.Hubs, PlatformUsers: 200, RoomUsers: 20, T: 24, Seed: 424,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]int, 16)
+	dogs := make([]*occlusion.DOG, 16)
+	for i := range targets {
+		targets[i] = i
+		dogs[i] = occlusion.BuildDOG(i, room.Traj, room.AvatarRadius)
+	}
+	steps := len(dogs[0].Frames)
+	m := New(Config{UseMIA: true, UseLWP: true})
+
+	prev := prof.SetEnabled(true)
+	defer func() {
+		prof.Clear()
+		prof.SetEnabled(prev)
+	}()
+
+	knownPhases := map[string]bool{
+		"batch": true, "mia": true, "pdr": true, "lwp": true, "decode": true, "spmm": true,
+	}
+	for _, workers := range []int{1, 8} {
+		parallel.WithLimit(workers, func() {
+			bs := m.StartBatchSession(room, BatchOptions{})
+			bs.SetProfLabels(prof.NewLabels("room7", "POSHGNN"))
+			frames := make([]*occlusion.StaticGraph, len(targets))
+
+			var buf bytes.Buffer
+			if err := pprof.StartCPUProfile(&buf); err != nil {
+				t.Skipf("cpu profile slot busy: %v", err)
+			}
+			deadline := time.Now().Add(500 * time.Millisecond)
+			for rep := 0; time.Now().Before(deadline); rep++ {
+				for st := 0; st < steps; st++ {
+					for i := range targets {
+						frames[i] = dogs[i].Frames[st]
+					}
+					bs.StepTargets(rep*steps+st, targets, frames)
+				}
+			}
+			pprof.StopCPUProfile()
+
+			p, err := prof.ParseProfile(buf.Bytes())
+			if err != nil {
+				t.Fatalf("workers=%d: ParseProfile: %v", workers, err)
+			}
+			vi := p.ValueIndex("cpu", "nanoseconds")
+			if vi < 0 {
+				t.Fatalf("workers=%d: no cpu value type", workers)
+			}
+			// Judge only samples that demonstrably ran the batched forward
+			// (a core or tensor frame on the stack): unrelated runtime work
+			// (GC workers, the profiler itself) is legitimately unlabeled.
+			var coreNs, labeledNs int64
+			for _, s := range p.Samples {
+				inCore := false
+				for _, fn := range s.Stack {
+					if strings.Contains(fn, "internal/core.") || strings.Contains(fn, "internal/tensor.") {
+						inCore = true
+						break
+					}
+				}
+				if !inCore {
+					continue
+				}
+				ns := s.Value[vi]
+				coreNs += ns
+				phase := s.Label["phase"]
+				if s.Label["room"] == "room7" && s.Label["rec"] == "POSHGNN" && knownPhases[phase] {
+					labeledNs += ns
+				} else if phase != "" && !knownPhases[phase] {
+					t.Errorf("workers=%d: unknown phase label %q", workers, phase)
+				}
+			}
+			if coreNs == 0 {
+				t.Skipf("workers=%d: no core samples collected (starved runner)", workers)
+			}
+			frac := float64(labeledNs) / float64(coreNs)
+			t.Logf("workers=%d: %.1f%% of core CPU labeled (%.2fms of %.2fms)",
+				workers, 100*frac, float64(labeledNs)/1e6, float64(coreNs)/1e6)
+			if frac < 0.9 {
+				t.Errorf("workers=%d: only %.1f%% of core-path CPU carries room/phase labels, want >= 90%%",
+					workers, 100*frac)
+			}
+		})
+	}
+}
+
+// TestBatchProfLabelsRestoreAmbient checks StepTargets leaves the caller on
+// its ambient (PhaseNone) labels rather than a stale phase — the serving
+// batcher relies on this after every processBatch.
+func TestBatchProfLabelsRestoreAmbient(t *testing.T) {
+	prev := prof.SetEnabled(true)
+	defer func() {
+		prof.Clear()
+		prof.SetEnabled(prev)
+	}()
+	room := testRoom(3)
+	dog := occlusion.BuildDOG(0, room.Traj, room.AvatarRadius)
+	m := New(Config{UseMIA: true, UseLWP: true})
+	bs := m.StartBatchSession(room, BatchOptions{})
+	bs.SetProfLabels(prof.NewLabels("roomZ", "POSHGNN"))
+	bs.StepTargets(0, []int{0}, []*occlusion.StaticGraph{dog.Frames[0]})
+
+	// The only observable of SetGoroutineLabels is a profile; a goroutine
+	// dump (debug=0) reports the current labels without burning CPU.
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := prof.ParseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range p.Samples {
+		for _, fn := range s.Stack {
+			if strings.Contains(fn, "TestBatchProfLabelsRestoreAmbient") {
+				found = true
+				if got := s.Label["phase"]; got != "" {
+					t.Errorf("caller goroutine still labeled phase=%q after StepTargets", got)
+				}
+				if got := s.Label["room"]; got != "roomZ" {
+					t.Errorf("caller goroutine lost ambient room label, got %q", got)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Skip("test goroutine not found in goroutine profile")
+	}
+}

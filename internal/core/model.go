@@ -8,6 +8,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/nn"
 	"after/internal/obs"
+	"after/internal/obs/prof"
 	"after/internal/occlusion"
 	"after/internal/tensor"
 )
@@ -157,11 +158,15 @@ type stepOutput struct {
 // forward runs MIA → PDR → LWP → preservation gate for one step. Each stage
 // is wrapped in an obs span (`mia`, `pdr`, `lwp`) so per-phase latency
 // rollups and -trace timelines cover every POSHGNN step, at a
-// load-and-branch cost when observability is off.
+// load-and-branch cost when observability is off. lbl, when non-nil, switches
+// the goroutine's pprof labels through the matching phases so continuous
+// profiles attribute to the same names (the caller restores its ambient
+// labels; training passes nil).
 // prevR/prevH may be nil at t=0 (they default to zeros: nothing to inherit).
-func (m *POSHGNN) forward(room *dataset.Room, frame, prev *occlusion.StaticGraph, prevR, prevH *tensor.Tensor) stepOutput {
+func (m *POSHGNN) forward(room *dataset.Room, frame, prev *occlusion.StaticGraph, prevR, prevH *tensor.Tensor, lbl *prof.Labels) stepOutput {
 	n := room.N
 	spMIA := obs.Begin("mia")
+	lbl.Set(prof.PhaseMIA)
 	agg := m.mia.Aggregate(room, frame, prev)
 	spMIA.End()
 	x := tensor.Constant(agg.X)
@@ -179,15 +184,18 @@ func (m *POSHGNN) forward(room *dataset.Room, frame, prev *occlusion.StaticGraph
 
 	// PDR (Eq. 1): two graph convolutions; the hidden layer doubles as h_t.
 	spPDR := obs.Begin("pdr")
+	lbl.Set(prof.PhasePDR)
 	h := tensor.ReLU(conv(m.pdr1, x))
 	rTilde := tensor.Sigmoid(conv(m.pdr2, h))
 	spPDR.End()
 
 	if !m.cfg.UseLWP {
+		lbl.Set(prof.PhaseNone)
 		return stepOutput{r: tensor.Mul(maskT, rTilde), h: h, mia: agg}
 	}
 
 	spLWP := obs.Begin("lwp")
+	lbl.Set(prof.PhaseLWP)
 	if prevR == nil {
 		prevR = tensor.Constant(tensor.NewMatrix(n, 1))
 	}
@@ -204,6 +212,7 @@ func (m *POSHGNN) forward(room *dataset.Room, frame, prev *occlusion.StaticGraph
 	blend := tensor.Add(tensor.Mul(tensor.Sub(ones, sigma), rTilde), tensor.Mul(sigma, prevR))
 	out := stepOutput{r: tensor.Mul(maskT, blend), h: h, sigma: sigma, mia: agg}
 	spLWP.End()
+	lbl.Set(prof.PhaseNone)
 	return out
 }
 
@@ -237,7 +246,14 @@ type Session struct {
 	prevFrame *occlusion.StaticGraph
 	prevR     *tensor.Tensor
 	prevH     *tensor.Tensor
+	lbl       *prof.Labels
 }
+
+// SetProfLabels attaches a (room, rec) pprof label set to subsequent Step
+// calls (prof.Carrier): each forward phase switches the goroutine to its
+// phase-refined labels, restoring the ambient set before returning. nil
+// detaches.
+func (s *Session) SetProfLabels(l *prof.Labels) { s.lbl = l }
 
 // StartEpisode begins inference for target in room.
 func (m *POSHGNN) StartEpisode(room *dataset.Room, target int) *Session {
@@ -251,11 +267,13 @@ func (m *POSHGNN) StartEpisode(room *dataset.Room, target int) *Session {
 // (rendered[w] = true ⇔ w ∈ F_t(v)). The session carries state across calls,
 // so callers must feed frames in temporal order.
 func (s *Session) Step(t int, frame *occlusion.StaticGraph) []bool {
-	out := s.model.forward(s.room, frame, s.prevFrame, s.prevR, s.prevH)
+	out := s.model.forward(s.room, frame, s.prevFrame, s.prevR, s.prevH, s.lbl)
 	s.prevFrame = frame
 	s.prevR = tensor.Detach(out.r)
 	s.prevH = tensor.Detach(out.h)
 	spDecode := obs.Begin("decode")
+	s.lbl.Set(prof.PhaseDecode)
+	defer s.lbl.Set(prof.PhaseNone)
 	defer spDecode.End()
 	if s.model.cfg.RawDecode {
 		// Same budget convention as decodeRecommendation: a non-positive

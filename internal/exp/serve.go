@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/geom"
 	"after/internal/obs"
+	"after/internal/obs/prof"
 	"after/internal/occlusion"
 	"after/internal/serve"
 	"after/internal/serve/load"
@@ -97,6 +99,13 @@ type ServeRow struct {
 	SLOBudgetConsumed float64 `json:"slo_budget_consumed"`
 	SLOFastBurn       bool    `json:"slo_fast_burn"`
 	SLOSlowBurn       bool    `json:"slo_slow_burn"`
+
+	// Runtime health sampled alongside the SLO fields: the live goroutine
+	// count at row end (a leak shows as monotone growth across rows) and the
+	// p99 GC pause within the row's window — GC churn that the latency
+	// percentiles only hint at.
+	Goroutines   int     `json:"goroutines"`
+	GCPauseP99Ms float64 `json:"gc_pause_p99_ms"`
 }
 
 // ServeReport is the -exp serve artifact (BENCH_serve.json).
@@ -223,6 +232,9 @@ func RunServe(o Options) (*ServeReport, error) {
 		DeadlineMs:  float64(deadline) / float64(time.Millisecond),
 		CapacityRPS: capacity,
 	}
+	// gcd diffs the cumulative GC-pause histogram per row so each row's
+	// gc_pause_p99_ms covers exactly that row's window.
+	gcd := prof.NewGCPauseDelta()
 	for i, spec := range specs {
 		rps := capacity * spec.factor
 		if spec.rps > 0 {
@@ -232,6 +244,7 @@ func RunServe(o Options) (*ServeReport, error) {
 		// windows (5m/1h) span the whole sweep and the overload rows' sheds
 		// would put the clean rows into alert.
 		srv.SLO().Reset()
+		gcd.Reset()
 		lr, err := load.Run(load.Config{
 			BaseURL:    base,
 			Pattern:    spec.pattern,
@@ -286,6 +299,8 @@ func RunServe(o Options) (*ServeReport, error) {
 		row.SLOBudgetConsumed = snap.BudgetConsumed
 		row.SLOFastBurn = snap.FastBurn
 		row.SLOSlowBurn = snap.SlowBurn
+		row.Goroutines = runtime.NumGoroutine()
+		row.GCPauseP99Ms = gcd.P99Seconds() * 1e3
 		report.Rows = append(report.Rows, row)
 	}
 	report.Notes = append(report.Notes,
@@ -336,6 +351,13 @@ func (p pacedStepper) Step(t int, frame *occlusion.StaticGraph) []bool {
 	return p.inner.Step(t, frame)
 }
 
+// SetProfLabels forwards prof.Carrier through the pacing wrapper.
+func (p pacedStepper) SetProfLabels(l *prof.Labels) {
+	if pc, ok := p.inner.(prof.Carrier); ok {
+		pc.SetProfLabels(l)
+	}
+}
+
 // pacedBatchRec is the batch-capable pacedRec variant built by paced.
 type pacedBatchRec struct {
 	pacedRec
@@ -362,6 +384,13 @@ func (p pacedBatchStepper) StepTargets(t int, targets []int, frames []*occlusion
 func (p pacedBatchStepper) SetTraceParent(parent obs.SpanID) {
 	if tc, ok := p.inner.(sim.TraceCarrier); ok {
 		tc.SetTraceParent(parent)
+	}
+}
+
+// SetProfLabels forwards prof.Carrier through the pacing wrapper.
+func (p pacedBatchStepper) SetProfLabels(l *prof.Labels) {
+	if pc, ok := p.inner.(prof.Carrier); ok {
+		pc.SetProfLabels(l)
 	}
 }
 

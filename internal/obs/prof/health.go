@@ -1,0 +1,201 @@
+package prof
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"time"
+
+	"after/internal/obs"
+)
+
+// Runtime health telemetry: a thin sampler over runtime/metrics that lands
+// GC-pause quantiles, heap live/goal, goroutine count, and scheduler latency
+// in the obs registry, so every OBS_<exp>.json and /metrics scrape carries
+// the runtime pressure alongside the application metrics.
+
+// healthKeys are the runtime/metrics samples the collector reads. Missing
+// keys (older runtimes) simply report KindBad and are skipped, so the list
+// can stay ahead of the minimum toolchain.
+var healthKeys = []string{
+	"/gc/pauses:seconds",
+	"/gc/heap/goal:bytes",
+	"/gc/heap/live:bytes",
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+	"/sched/latencies:seconds",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// CollectHealth samples the runtime once into reg's health.* gauges. The
+// gauges obey the obs enable gate like every other metric; callers snapshot
+// right before writing OBS_<exp>.json (and the serve drain does the same) so
+// the values are as fresh as the artifact.
+func CollectHealth(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	samples := make([]metrics.Sample, len(healthKeys))
+	for i, k := range healthKeys {
+		samples[i].Name = k
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			v := float64(s.Value.Uint64())
+			switch s.Name {
+			case "/gc/heap/goal:bytes":
+				reg.Gauge("health.heap_goal_bytes").Set(v)
+			case "/gc/heap/live:bytes":
+				reg.Gauge("health.heap_live_bytes").Set(v)
+			case "/memory/classes/heap/objects:bytes":
+				reg.Gauge("health.heap_objects_bytes").Set(v)
+			case "/sched/goroutines:goroutines":
+				reg.Gauge("health.goroutines").Set(v)
+			case "/gc/cycles/total:gc-cycles":
+				reg.Gauge("health.gc_cycles").Set(v)
+			}
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			switch s.Name {
+			case "/gc/pauses:seconds":
+				reg.Gauge("health.gc_pause_p50_ns").Set(histQuantile(h, 0.50) * 1e9)
+				reg.Gauge("health.gc_pause_p99_ns").Set(histQuantile(h, 0.99) * 1e9)
+			case "/sched/latencies:seconds":
+				reg.Gauge("health.sched_latency_p99_ns").Set(histQuantile(h, 0.99) * 1e9)
+			}
+		}
+	}
+	// runtime/metrics reports goroutines too, but NumGoroutine is always
+	// available — keep the gauge populated even if the key list rotates.
+	reg.Gauge("health.goroutines").Set(float64(runtime.NumGoroutine()))
+}
+
+// StartHealth samples every interval until the returned stop function is
+// called. afterd runs this alongside the continuous profiler so /metrics
+// scrapes see live runtime pressure between drains.
+func StartHealth(reg *obs.Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				CollectHealth(reg)
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+		}
+	}
+}
+
+// histQuantile estimates the q-quantile of a runtime/metrics histogram by
+// walking cumulative bucket counts and interpolating inside the crossing
+// bucket. ±Inf bucket edges are clamped to the nearest finite neighbour.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	return histQuantileCounts(h.Counts, h.Buckets, q)
+}
+
+func histQuantileCounts(counts []uint64, buckets []float64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := buckets[i], buckets[i+1]
+			if math.IsInf(lo, -1) {
+				lo = 0
+			}
+			if math.IsInf(hi, 1) {
+				hi = lo
+			}
+			frac := float64(rank-cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return buckets[len(buckets)-1]
+}
+
+// GCPauseDelta tracks the GC pause histogram between two points in time, so
+// a caller can report the p99 pause of one bounded interval (one serve row,
+// one experiment) instead of the process-lifetime distribution.
+type GCPauseDelta struct {
+	prevCounts []uint64
+	buckets    []float64
+}
+
+// NewGCPauseDelta captures the current cumulative pause distribution as the
+// baseline.
+func NewGCPauseDelta() *GCPauseDelta {
+	d := &GCPauseDelta{}
+	d.Reset()
+	return d
+}
+
+func (d *GCPauseDelta) read() *metrics.Float64Histogram {
+	s := []metrics.Sample{{Name: "/gc/pauses:seconds"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return s[0].Value.Float64Histogram()
+}
+
+// Reset re-baselines the delta at the current distribution.
+func (d *GCPauseDelta) Reset() {
+	h := d.read()
+	if h == nil {
+		d.prevCounts = nil
+		return
+	}
+	d.prevCounts = append(d.prevCounts[:0], h.Counts...)
+	d.buckets = h.Buckets
+}
+
+// P99Seconds returns the p99 GC pause over the interval since the last
+// Reset (0 when no pauses occurred or the histogram is unavailable). It does
+// not re-baseline; call Reset to start the next interval.
+func (d *GCPauseDelta) P99Seconds() float64 {
+	h := d.read()
+	if h == nil || d.prevCounts == nil || len(h.Counts) != len(d.prevCounts) {
+		return 0
+	}
+	delta := make([]uint64, len(h.Counts))
+	for i, c := range h.Counts {
+		if prev := d.prevCounts[i]; c > prev {
+			delta[i] = c - prev
+		}
+	}
+	return histQuantileCounts(delta, h.Buckets, 0.99)
+}

@@ -1,0 +1,551 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"after/internal/obs"
+)
+
+// Options configures the continuous profiler.
+type Options struct {
+	// Window is the length of one CPU-profile window. Shorter windows
+	// attribute faster but cost more stop/parse cycles; default 10s.
+	Window time.Duration
+	// Registry receives the live prof.* gauges (CPU-seconds per phase,
+	// labeled fraction). Defaults to obs.Default(). Gauge writes obey the obs
+	// enable gate, so profiling can run with metrics off and still produce
+	// PROF_<exp>.json summaries.
+	Registry *obs.Registry
+	// TopN bounds the per-summary flat/cumulative symbol tables; default 25.
+	TopN int
+	// MaxStacks bounds the collapsed-stack table kept for flamegraph
+	// rendering; default 150 (pruned by weight).
+	MaxStacks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 10 * time.Second
+	}
+	if o.Registry == nil {
+		o.Registry = obs.Default()
+	}
+	if o.TopN <= 0 {
+		o.TopN = 25
+	}
+	if o.MaxStacks <= 0 {
+		o.MaxStacks = 150
+	}
+	return o
+}
+
+// Symbol is one function's share of sampled CPU.
+type Symbol struct {
+	Name        string  `json:"name"`
+	FlatSeconds float64 `json:"flat_s"`
+	CumSeconds  float64 `json:"cum_s"`
+}
+
+// StackSeconds is one collapsed (root-first, ";"-joined) stack's sampled CPU.
+type StackSeconds struct {
+	Stack   string  `json:"stack"`
+	Seconds float64 `json:"s"`
+}
+
+// HeapSymbol is one function's heap activity over the profiled interval:
+// allocation deltas between the first and last heap snapshots plus live
+// in-use bytes at the last snapshot. Heap profiles carry no goroutine labels
+// (a runtime limitation), so heap attribution is per-symbol only.
+type HeapSymbol struct {
+	Name         string `json:"name"`
+	AllocBytes   int64  `json:"alloc_bytes"`
+	AllocObjects int64  `json:"alloc_objects"`
+	InuseBytes   int64  `json:"inuse_bytes"`
+}
+
+// Summary is the aggregated profile view written to PROF_<exp>.json and
+// rendered by the report's flamegraph section.
+type Summary struct {
+	Timestamp       string             `json:"timestamp"`
+	WindowSeconds   float64            `json:"window_s"`
+	Windows         int                `json:"windows"`
+	SkippedWindows  int                `json:"skipped_windows,omitempty"`
+	CPUSeconds      float64            `json:"cpu_s"`
+	LabeledSeconds  float64            `json:"labeled_s"`
+	LabeledFraction float64            `json:"labeled_fraction"`
+	ByPhase         map[string]float64 `json:"by_phase,omitempty"`
+	ByRec           map[string]float64 `json:"by_rec,omitempty"`
+	ByRoom          map[string]float64 `json:"by_room,omitempty"`
+	TopFlat         []Symbol           `json:"top_flat,omitempty"`
+	Stacks          []StackSeconds     `json:"stacks,omitempty"`
+	HeapTop         []HeapSymbol       `json:"heap_top,omitempty"`
+}
+
+// aggregate is the profiler's running fold over finished windows. All ns.
+type aggregate struct {
+	windows, skipped int
+	cpuNs, labeledNs int64
+	byPhase          map[string]int64
+	byRec            map[string]int64
+	byRoom           map[string]int64
+	flat             map[string]int64
+	cum              map[string]int64
+	stacks           map[string]int64
+	heapBase         map[string]heapCounts // cumulative allocs at interval start
+	heapCur          map[string]heapCounts // cumulative allocs at last snapshot
+}
+
+type heapCounts struct {
+	allocBytes, allocObjects, inuseBytes int64
+}
+
+func newAggregate() aggregate {
+	return aggregate{
+		byPhase: map[string]int64{},
+		byRec:   map[string]int64{},
+		byRoom:  map[string]int64{},
+		flat:    map[string]int64{},
+		cum:     map[string]int64{},
+		stacks:  map[string]int64{},
+	}
+}
+
+// Profiler runs the continuous profile loop. Create with Start; a nil
+// *Profiler no-ops on every method so call sites can hold one unconditionally.
+type Profiler struct {
+	opt Options
+
+	mu      sync.Mutex
+	agg     aggregate
+	lastPB  []byte // most recent raw CPU profile window (gzipped protobuf)
+	stopped bool
+
+	ctl  chan ctlMsg
+	done chan struct{}
+}
+
+type ctlMsg struct {
+	reset bool // clear the aggregate after folding the live window
+	ack   chan struct{}
+	quit  bool
+}
+
+// Gauge handles cached at package level so registry Reset keeps them valid.
+var (
+	obsWindows   = obs.Default().Counter("prof.windows")
+	obsSkipped   = obs.Default().Counter("prof.skipped_windows")
+	obsIncidents = obs.Default().Counter("prof.watchdog_incidents")
+)
+
+// Start enables the label gate and launches the windowed profile loop.
+func Start(opt Options) *Profiler {
+	opt = opt.withDefaults()
+	SetEnabled(true)
+	p := &Profiler{
+		opt:  opt,
+		agg:  newAggregate(),
+		ctl:  make(chan ctlMsg),
+		done: make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// run is the window loop. Only one CPU profile may be active per process, so
+// a StartCPUProfile failure (a -cpuprofile flag or a live /debug/pprof/profile
+// scrape holds the slot) skips the window rather than erroring: continuous
+// profiling is a background concern and must never fight the foreground.
+func (p *Profiler) run() {
+	defer close(p.done)
+	for {
+		var buf bytes.Buffer
+		active := pprof.StartCPUProfile(&buf) == nil
+		if !active {
+			p.mu.Lock()
+			p.agg.skipped++
+			p.mu.Unlock()
+			obsSkipped.Inc()
+		}
+		timer := time.NewTimer(p.opt.Window)
+		var msg ctlMsg
+		select {
+		case <-timer.C:
+		case msg = <-p.ctl:
+			timer.Stop()
+		}
+		if active {
+			pprof.StopCPUProfile()
+			p.foldWindow(buf.Bytes())
+		}
+		if msg.reset {
+			p.mu.Lock()
+			p.agg = newAggregate()
+			p.lastPB = nil
+			p.mu.Unlock()
+		}
+		if msg.ack != nil {
+			close(msg.ack)
+		}
+		if msg.quit {
+			return
+		}
+	}
+}
+
+// foldWindow parses one finished CPU window plus a heap snapshot and folds
+// both into the aggregate, then refreshes the live gauges.
+func (p *Profiler) foldWindow(pb []byte) {
+	prof, err := ParseProfile(pb)
+	heap := captureHeap()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lastPB = pb
+	p.agg.windows++
+	if err == nil {
+		foldCPU(&p.agg, prof)
+		pruneStacks(p.agg.stacks, p.opt.MaxStacks)
+	}
+	if heap != nil {
+		if p.agg.heapBase == nil {
+			p.agg.heapBase = heap
+		}
+		p.agg.heapCur = heap
+	}
+	p.publishGauges()
+	obsWindows.Inc()
+}
+
+// foldCPU adds one parsed CPU profile's samples to agg.
+func foldCPU(agg *aggregate, prof *Profile) {
+	vi := prof.ValueIndex("cpu", "nanoseconds")
+	if vi < 0 {
+		vi = len(prof.SampleType) - 1
+	}
+	for _, s := range prof.Samples {
+		if vi >= len(s.Value) {
+			continue
+		}
+		ns := s.Value[vi]
+		if ns <= 0 {
+			continue
+		}
+		agg.cpuNs += ns
+		if phase := s.Label["phase"]; phase != "" {
+			agg.labeledNs += ns
+			agg.byPhase[phase] += ns
+		}
+		if rec := s.Label["rec"]; rec != "" {
+			agg.byRec[rec] += ns
+		}
+		if room := s.Label["room"]; room != "" {
+			agg.byRoom[room] += ns
+		}
+		if len(s.Stack) == 0 {
+			continue
+		}
+		agg.flat[s.Stack[0]] += ns
+		seen := map[string]bool{}
+		for _, fn := range s.Stack {
+			if !seen[fn] {
+				seen[fn] = true
+				agg.cum[fn] += ns
+			}
+		}
+		agg.stacks[collapseStack(s.Stack)] += ns
+	}
+}
+
+// maxStackDepth bounds collapsed stacks; deeper frames (towards the root)
+// are dropped first since flame rendering truncates there anyway.
+const maxStackDepth = 24
+
+// collapseStack renders a leaf-first stack as a root-first ";"-joined string.
+func collapseStack(stack []string) string {
+	if len(stack) > maxStackDepth {
+		stack = stack[:maxStackDepth]
+	}
+	var b strings.Builder
+	for i := len(stack) - 1; i >= 0; i-- {
+		b.WriteString(stack[i])
+		if i > 0 {
+			b.WriteByte(';')
+		}
+	}
+	return b.String()
+}
+
+// pruneStacks keeps the heaviest limit entries once the map grows past
+// 4×limit, bounding memory on long-running daemons.
+func pruneStacks(stacks map[string]int64, limit int) {
+	if len(stacks) <= 4*limit {
+		return
+	}
+	type kv struct {
+		k string
+		v int64
+	}
+	all := make([]kv, 0, len(stacks))
+	for k, v := range stacks {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v > all[j].v })
+	for _, e := range all[limit:] {
+		delete(stacks, e.k)
+	}
+}
+
+// captureHeap snapshots the cumulative heap profile per leaf symbol. Returns
+// nil on any failure — heap attribution is best-effort.
+func captureHeap() map[string]heapCounts {
+	lookup := pprof.Lookup("heap")
+	if lookup == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := lookup.WriteTo(&buf, 0); err != nil {
+		return nil
+	}
+	prof, err := ParseProfile(buf.Bytes())
+	if err != nil {
+		return nil
+	}
+	ao := prof.ValueIndex("alloc_objects", "")
+	ab := prof.ValueIndex("alloc_space", "")
+	ib := prof.ValueIndex("inuse_space", "")
+	out := map[string]heapCounts{}
+	for _, s := range prof.Samples {
+		if len(s.Stack) == 0 {
+			continue
+		}
+		leaf := s.Stack[0]
+		hc := out[leaf]
+		if ao >= 0 && ao < len(s.Value) {
+			hc.allocObjects += s.Value[ao]
+		}
+		if ab >= 0 && ab < len(s.Value) {
+			hc.allocBytes += s.Value[ab]
+		}
+		if ib >= 0 && ib < len(s.Value) {
+			hc.inuseBytes += s.Value[ib]
+		}
+		out[leaf] = hc
+	}
+	return out
+}
+
+// publishGauges refreshes the live prof.* gauges from the aggregate.
+// Called with p.mu held.
+func (p *Profiler) publishGauges() {
+	reg := p.opt.Registry
+	reg.Gauge("prof.cpu_seconds_total").Set(float64(p.agg.cpuNs) / 1e9)
+	if p.agg.cpuNs > 0 {
+		reg.Gauge("prof.labeled_fraction").Set(float64(p.agg.labeledNs) / float64(p.agg.cpuNs))
+	}
+	for phase, ns := range p.agg.byPhase {
+		reg.Gauge(obs.Label("prof.cpu_seconds", "phase", phase)).Set(float64(ns) / 1e9)
+	}
+	for rec, ns := range p.agg.byRec {
+		reg.Gauge(obs.Label("prof.cpu_seconds", "rec", rec)).Set(float64(ns) / 1e9)
+	}
+}
+
+// Rotate synchronously cuts the live window and folds it into the aggregate,
+// so a Snapshot taken immediately after covers all CPU up to now. No-op on
+// nil or after Stop.
+func (p *Profiler) Rotate() { p.control(ctlMsg{}) }
+
+// Reset cuts the live window, discards the aggregate, and starts fresh —
+// aftersim calls this between experiments so each PROF_<exp>.json covers
+// exactly one run (mirroring registry Reset for OBS snapshots).
+func (p *Profiler) Reset() { p.control(ctlMsg{reset: true}) }
+
+// Stop cuts the live window, folds it, and terminates the loop.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	ack := make(chan struct{})
+	p.ctl <- ctlMsg{quit: true, ack: ack}
+	<-ack
+	<-p.done
+}
+
+func (p *Profiler) control(msg ctlMsg) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	stopped := p.stopped
+	p.mu.Unlock()
+	if stopped {
+		return
+	}
+	msg.ack = make(chan struct{})
+	p.ctl <- msg
+	<-msg.ack
+}
+
+// Snapshot renders the aggregate as a Summary. Safe on nil (zero Summary).
+func (p *Profiler) Snapshot() Summary {
+	if p == nil {
+		return Summary{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return summarize(&p.agg, p.opt)
+}
+
+func summarize(agg *aggregate, opt Options) Summary {
+	s := Summary{
+		Timestamp:      time.Now().UTC().Format(time.RFC3339),
+		WindowSeconds:  opt.Window.Seconds(),
+		Windows:        agg.windows,
+		SkippedWindows: agg.skipped,
+		CPUSeconds:     float64(agg.cpuNs) / 1e9,
+		LabeledSeconds: float64(agg.labeledNs) / 1e9,
+	}
+	if agg.cpuNs > 0 {
+		s.LabeledFraction = float64(agg.labeledNs) / float64(agg.cpuNs)
+	}
+	s.ByPhase = secondsMap(agg.byPhase)
+	s.ByRec = secondsMap(agg.byRec)
+	s.ByRoom = secondsMap(agg.byRoom)
+
+	s.TopFlat = topSymbols(agg.flat, agg.cum, opt.TopN)
+
+	stacks := make([]StackSeconds, 0, len(agg.stacks))
+	for k, ns := range agg.stacks {
+		stacks = append(stacks, StackSeconds{Stack: k, Seconds: float64(ns) / 1e9})
+	}
+	sort.Slice(stacks, func(i, j int) bool {
+		if stacks[i].Seconds != stacks[j].Seconds {
+			return stacks[i].Seconds > stacks[j].Seconds
+		}
+		return stacks[i].Stack < stacks[j].Stack
+	})
+	if len(stacks) > opt.MaxStacks {
+		stacks = stacks[:opt.MaxStacks]
+	}
+	s.Stacks = stacks
+
+	if agg.heapCur != nil {
+		heap := make([]HeapSymbol, 0, len(agg.heapCur))
+		for name, cur := range agg.heapCur {
+			base := agg.heapBase[name]
+			heap = append(heap, HeapSymbol{
+				Name:         name,
+				AllocBytes:   max64(0, cur.allocBytes-base.allocBytes),
+				AllocObjects: max64(0, cur.allocObjects-base.allocObjects),
+				InuseBytes:   cur.inuseBytes,
+			})
+		}
+		sort.Slice(heap, func(i, j int) bool {
+			if heap[i].AllocBytes != heap[j].AllocBytes {
+				return heap[i].AllocBytes > heap[j].AllocBytes
+			}
+			return heap[i].Name < heap[j].Name
+		})
+		if len(heap) > opt.TopN {
+			heap = heap[:opt.TopN]
+		}
+		s.HeapTop = heap
+	}
+	return s
+}
+
+func secondsMap(ns map[string]int64) map[string]float64 {
+	if len(ns) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(ns))
+	for k, v := range ns {
+		out[k] = float64(v) / 1e9
+	}
+	return out
+}
+
+func topSymbols(flat, cum map[string]int64, n int) []Symbol {
+	out := make([]Symbol, 0, len(flat))
+	for name, f := range flat {
+		out = append(out, Symbol{
+			Name:        name,
+			FlatSeconds: float64(f) / 1e9,
+			CumSeconds:  float64(cum[name]) / 1e9,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FlatSeconds != out[j].FlatSeconds {
+			return out[i].FlatSeconds > out[j].FlatSeconds
+		}
+		return out[i].Name < out[j].Name
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteJSON writes the current Summary to path atomically (the PROF_<exp>.json
+// artifact). No-op nil error on a nil profiler.
+func (p *Profiler) WriteJSON(path string) error {
+	if p == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(p.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return obs.WriteFileAtomic(path, append(data, '\n'))
+}
+
+// WriteLastProfile writes the most recent raw CPU profile window (gzipped
+// pprof protobuf, loadable by `go tool pprof` and cmd/afterprof) to path.
+// Returns an error when no window has completed yet.
+func (p *Profiler) WriteLastProfile(path string) error {
+	if p == nil {
+		return fmt.Errorf("prof: profiler not running")
+	}
+	p.mu.Lock()
+	pb := p.lastPB
+	p.mu.Unlock()
+	if len(pb) == 0 {
+		return fmt.Errorf("prof: no completed profile window")
+	}
+	return obs.WriteFileAtomic(path, pb)
+}
+
+// SummarizeProfile parses one raw pprof CPU profile and folds it into a
+// standalone Summary — the offline path cmd/afterprof and the CI attribution
+// step use on saved .pb.gz artifacts.
+func SummarizeProfile(data []byte, topN int) (Summary, error) {
+	prof, err := ParseProfile(data)
+	if err != nil {
+		return Summary{}, err
+	}
+	agg := newAggregate()
+	foldCPU(&agg, prof)
+	agg.windows = 1
+	opt := Options{TopN: topN}.withDefaults()
+	return summarize(&agg, opt), nil
+}

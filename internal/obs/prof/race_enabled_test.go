@@ -1,0 +1,7 @@
+//go:build race
+
+package prof
+
+// raceEnabled reports whether the race detector instruments this build;
+// overhead budgets are meaningless under instrumentation.
+const raceEnabled = true

@@ -11,16 +11,18 @@ import (
 	"strings"
 
 	"after/internal/obs"
+	"after/internal/obs/prof"
 )
 
 // This file is the fused run-report builder behind `aftersim -report`: it
-// scans a directory for the three artifact families the harness writes —
+// scans a directory for the four artifact families the harness writes —
 // OBS_<exp>.json (latency telemetry), QUALITY_<exp>.json (this package's
-// snapshots), and BENCH_*.json (the benchmark history) — and joins them into
-// one self-contained HTML dashboard. Zero external dependencies: styling is
-// an inline <style> block and every sparkline is an inline SVG polyline, so
-// the file renders identically from a CI artifact tab, an email attachment,
-// or file://.
+// snapshots), BENCH_*.json (the benchmark history), and PROF_<exp>.json
+// (continuous-profiling summaries) — and joins them into one self-contained
+// HTML dashboard. Zero external dependencies: styling is an inline <style>
+// block and every sparkline and flamegraph is inline SVG, so the file
+// renders identically from a CI artifact tab, an email attachment, or
+// file://.
 
 // benchRecord is the slice of exp.BenchReport the report needs. Decoding with
 // a local struct (unknown fields ignored) keeps the dependency arrow pointing
@@ -60,6 +62,7 @@ type reportInputs struct {
 	obsRuns []obsRun
 	quality []qualityRun
 	bench   []benchRecord
+	profs   []profRun
 	skipped []string // unparseable files, noted in the dashboard footer
 }
 
@@ -73,6 +76,12 @@ type qualityRun struct {
 	exp  string
 	file string
 	snap Snapshot
+}
+
+type profRun struct {
+	exp  string
+	file string
+	sum  prof.Summary
 }
 
 // expFromArtifact extracts "table2" from "OBS_table2.json" / "QUALITY_table2.json".
@@ -111,6 +120,13 @@ func scanReportInputs(dir string) (reportInputs, error) {
 				continue
 			}
 			in.quality = append(in.quality, qualityRun{exp: expFromArtifact(name, "QUALITY_"), file: name, snap: s})
+		case strings.HasPrefix(name, "PROF_") && strings.HasSuffix(name, ".json"):
+			var s prof.Summary
+			if err := decodeJSONFile(path, &s); err != nil {
+				in.skipped = append(in.skipped, fmt.Sprintf("%s: %v", name, err))
+				continue
+			}
+			in.profs = append(in.profs, profRun{exp: expFromArtifact(name, "PROF_"), file: name, sum: s})
 		case strings.HasPrefix(name, "BENCH_") && strings.HasSuffix(name, ".json"):
 			var b benchRecord
 			if err := decodeJSONFile(path, &b); err != nil {
@@ -123,6 +139,7 @@ func scanReportInputs(dir string) (reportInputs, error) {
 	}
 	sort.Slice(in.obsRuns, func(i, j int) bool { return in.obsRuns[i].exp < in.obsRuns[j].exp })
 	sort.Slice(in.quality, func(i, j int) bool { return in.quality[i].exp < in.quality[j].exp })
+	sort.Slice(in.profs, func(i, j int) bool { return in.profs[i].exp < in.profs[j].exp })
 	// Bench history in chronological order: timestamps are RFC3339, so the
 	// lexicographic order is the time order; ties fall back to the filename.
 	sort.Slice(in.bench, func(i, j int) bool {
@@ -152,8 +169,8 @@ func WriteReport(dir, outPath string) error {
 	if err != nil {
 		return err
 	}
-	if len(in.obsRuns) == 0 && len(in.quality) == 0 && len(in.bench) == 0 {
-		return fmt.Errorf("report: no OBS_*.json, QUALITY_*.json, or BENCH_*.json artifacts in %s", dir)
+	if len(in.obsRuns) == 0 && len(in.quality) == 0 && len(in.bench) == 0 && len(in.profs) == 0 {
+		return fmt.Errorf("report: no OBS_*.json, QUALITY_*.json, BENCH_*.json, or PROF_*.json artifacts in %s", dir)
 	}
 	return obs.WriteFileAtomic(outPath, []byte(renderReport(in)))
 }
@@ -258,12 +275,13 @@ code{background:#eef;padding:0 .25em;border-radius:3px}
 footer{margin-top:3rem;font-size:.8rem;color:#889;border-top:1px solid #dde;padding-top:.5rem}
 </style></head><body>
 `)
-	fmt.Fprintf(&b, "<h1>aftersim run report</h1>\n<p class=\"muted\">fused from %s — %d OBS, %d QUALITY, %d BENCH artifact(s)</p>\n",
-		esc(in.dir), len(in.obsRuns), len(in.quality), len(in.bench))
+	fmt.Fprintf(&b, "<h1>aftersim run report</h1>\n<p class=\"muted\">fused from %s — %d OBS, %d QUALITY, %d BENCH, %d PROF artifact(s)</p>\n",
+		esc(in.dir), len(in.obsRuns), len(in.quality), len(in.bench), len(in.profs))
 
 	renderQualitySection(&b, in.quality)
 	renderSLOSection(&b, in.obsRuns)
 	renderObsSection(&b, in.obsRuns)
+	renderProfSection(&b, in.profs)
 	renderBenchSection(&b, in.bench)
 
 	b.WriteString("<footer>")
@@ -456,6 +474,209 @@ func renderObsSection(b *strings.Builder, runs []obsRun) {
 				fmtNs(float64(h.P95Ns)), fmtNs(float64(h.P99Ns)), fmtNs(float64(h.MaxNs)))
 		}
 		b.WriteString("</table>\n")
+	}
+}
+
+// renderProfSection emits one block per PROF_<exp>.json continuous-profiling
+// summary: the per-phase / per-rec CPU-seconds attribution tables, the flat
+// symbol top, the heap-delta top, and an inline SVG icicle flamegraph built
+// from the collapsed-stack table. Like every other section, the output is
+// self-contained — the flamegraph is plain nested <rect>/<text> elements with
+// <title> hover tooltips, no scripts.
+func renderProfSection(b *strings.Builder, runs []profRun) {
+	if len(runs) == 0 {
+		return
+	}
+	b.WriteString("<h2>Continuous profiling</h2>\n")
+	b.WriteString("<p class=\"muted\">Windowed CPU profiles folded by pprof goroutine labels (room, rec, phase). " +
+		"\"Labeled\" counts samples carrying a phase label — the serving/inference path; training and harness overhead are intentionally unlabeled.</p>\n")
+	for _, run := range runs {
+		s := run.sum
+		fmt.Fprintf(b, "<h3>%s <span class=\"muted\">(%s)</span></h3>\n", esc(run.exp), esc(run.file))
+		fmt.Fprintf(b, "<p>%.2fs CPU sampled over %d window(s) of %.0fs; <b>%.1f%%</b> phase-labeled (%.2fs).",
+			s.CPUSeconds, s.Windows, s.WindowSeconds, 100*s.LabeledFraction, s.LabeledSeconds)
+		if s.SkippedWindows > 0 {
+			fmt.Fprintf(b, " <span class=\"alert\">%d window(s) skipped</span> (another CPU profile held the slot).", s.SkippedWindows)
+		}
+		b.WriteString("</p>\n")
+
+		renderSecondsTable(b, "phase", s.ByPhase, s.CPUSeconds)
+		renderSecondsTable(b, "recommender", s.ByRec, s.CPUSeconds)
+		renderSecondsTable(b, "room", s.ByRoom, s.CPUSeconds)
+
+		if len(s.TopFlat) > 0 {
+			b.WriteString("<table><tr><th>symbol (flat top)</th><th>flat</th><th>cum</th><th>% of sampled</th></tr>\n")
+			for _, sym := range s.TopFlat {
+				pct := 0.0
+				if s.CPUSeconds > 0 {
+					pct = 100 * sym.FlatSeconds / s.CPUSeconds
+				}
+				fmt.Fprintf(b, "<tr><td><code>%s</code></td><td>%.3fs</td><td>%.3fs</td><td>%.1f%%</td></tr>\n",
+					esc(sym.Name), sym.FlatSeconds, sym.CumSeconds, pct)
+			}
+			b.WriteString("</table>\n")
+		}
+		if len(s.Stacks) > 0 {
+			b.WriteString(flamegraph(s.Stacks))
+		}
+		if len(s.HeapTop) > 0 {
+			b.WriteString("<table><tr><th>symbol (heap delta)</th><th>alloc bytes</th><th>alloc objects</th><th>in-use bytes</th></tr>\n")
+			for _, hs := range s.HeapTop {
+				fmt.Fprintf(b, "<tr><td><code>%s</code></td><td>%s</td><td>%d</td><td>%s</td></tr>\n",
+					esc(hs.Name), fmtBytes(hs.AllocBytes), hs.AllocObjects, fmtBytes(hs.InuseBytes))
+			}
+			b.WriteString("</table>\n")
+		}
+	}
+}
+
+// renderSecondsTable emits one label-dimension attribution table (phase, rec,
+// or room → CPU seconds), sorted by weight, with the share of total sampled
+// CPU. Empty dimensions are simply absent.
+func renderSecondsTable(b *strings.Builder, dim string, m map[string]float64, total float64) {
+	if len(m) == 0 {
+		return
+	}
+	type kv struct {
+		k string
+		v float64
+	}
+	rows := make([]kv, 0, len(m))
+	for k, v := range m {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].k < rows[j].k
+	})
+	fmt.Fprintf(b, "<table><tr><th>%s</th><th>CPU</th><th>%% of sampled</th></tr>\n", esc(dim))
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * r.v / total
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%.3fs</td><td>%.1f%%</td></tr>\n", esc(r.k), r.v, pct)
+	}
+	b.WriteString("</table>\n")
+}
+
+// flameNode is one frame in the flamegraph trie built from collapsed stacks.
+type flameNode struct {
+	name     string
+	total    float64
+	children map[string]*flameNode
+}
+
+// flamegraph renders the collapsed-stack table as a static SVG icicle: root
+// row on top, callees below, rectangle width proportional to sampled CPU.
+// Hovering a frame shows the full symbol and seconds via <title>. Frames too
+// narrow to matter visually (< 0.1% of the root width) are dropped, matching
+// what interactive flamegraph viewers do at min-width.
+func flamegraph(stacks []prof.StackSeconds) string {
+	root := &flameNode{name: "total", children: map[string]*flameNode{}}
+	maxDepth := 0
+	for _, st := range stacks {
+		if st.Seconds <= 0 || st.Stack == "" {
+			continue
+		}
+		frames := strings.Split(st.Stack, ";")
+		if len(frames) > maxDepth {
+			maxDepth = len(frames)
+		}
+		root.total += st.Seconds
+		n := root
+		for _, f := range frames {
+			c := n.children[f]
+			if c == nil {
+				c = &flameNode{name: f, children: map[string]*flameNode{}}
+				n.children[f] = c
+			}
+			c.total += st.Seconds
+			n = c
+		}
+	}
+	if root.total <= 0 {
+		return ""
+	}
+	const (
+		width = 1100.0
+		rowH  = 17.0
+	)
+	height := float64(maxDepth+1) * rowH
+	var svg strings.Builder
+	fmt.Fprintf(&svg,
+		`<svg class="flame" width="100%%" viewBox="0 0 %.0f %.0f" style="font:11px monospace;display:block;margin:.5rem 0 1rem">`,
+		width, height)
+	var draw func(n *flameNode, x, w float64, depth int)
+	draw = func(n *flameNode, x, w float64, depth int) {
+		if w < width/1000 {
+			return
+		}
+		y := float64(depth) * rowH
+		fmt.Fprintf(&svg,
+			`<g><rect x="%.2f" y="%.2f" width="%.2f" height="%.0f" fill="%s" stroke="#fdfdfd" stroke-width="0.5"/>`,
+			x, y, w, rowH, flameColor(n.name))
+		fmt.Fprintf(&svg, `<title>%s — %.3fs (%.1f%%)</title>`, esc(n.name), n.total, 100*n.total/root.total)
+		// Label only frames wide enough to hold text (~6.5px/char at 11px mono).
+		if chars := int(w/6.5) - 1; chars >= 3 {
+			label := n.name
+			if len(label) > chars {
+				label = label[:chars-1] + "…"
+			}
+			fmt.Fprintf(&svg, `<text x="%.2f" y="%.2f" fill="#1a1a2e">%s</text>`, x+3, y+rowH-5, esc(label))
+		}
+		svg.WriteString(`</g>`)
+		// Children laid out left-to-right, heaviest first, name-tiebroken so
+		// the same summary always renders the same picture.
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			ci, cj := n.children[names[i]], n.children[names[j]]
+			if ci.total != cj.total {
+				return ci.total > cj.total
+			}
+			return names[i] < names[j]
+		})
+		cx := x
+		for _, name := range names {
+			c := n.children[name]
+			cw := w * c.total / n.total
+			draw(c, cx, cw, depth+1)
+			cx += cw
+		}
+	}
+	draw(root, 0, width, 0)
+	svg.WriteString("</svg>\n")
+	return "<p class=\"muted\">CPU flamegraph (icicle; width ∝ sampled seconds; hover for full symbols):</p>\n" + svg.String()
+}
+
+// flameColor assigns a deterministic warm hue per symbol name (FNV-1a), so
+// identical frames share a color across reports without any palette table.
+func flameColor(name string) string {
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	// Warm band: hue 0–55 (red→yellow), saturation and lightness jittered
+	// slightly so adjacent same-hue frames remain distinguishable.
+	return fmt.Sprintf("hsl(%d,%d%%,%d%%)", h%56, 65+int(h>>8)%20, 62+int(h>>16)%12)
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 

@@ -57,7 +57,18 @@ type Writer struct {
 	sampled   *obs.Counter
 	rotations *obs.Counter
 	errs      *obs.Counter
+
+	// recent is a fixed-size ring of the last kept lines (without the
+	// trailing newline), feeding the stall watchdog's incident bundles: an
+	// incident wants "what was the server doing just now" without re-reading
+	// the log file. recentN is the ring head (total lines ever kept).
+	recent  [recentRing][]byte
+	recentN uint64
 }
+
+// recentRing bounds how many recent wide events the writer retains in memory
+// for incident bundles.
+const recentRing = 64
 
 // Open creates (or appends to) the JSONL file at path.
 func Open(path string, opt Options) (*Writer, error) {
@@ -118,6 +129,8 @@ func (w *Writer) Log(v any, keep bool) bool {
 	line = append(line, '\n')
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.recent[w.recentN%recentRing] = line[:len(line)-1]
+	w.recentN++
 	if w.f == nil { // closed
 		return false
 	}
@@ -154,6 +167,30 @@ func (w *Writer) rotate() {
 	w.bw = bufio.NewWriterSize(f, 64<<10)
 	w.size = 0
 	w.rotations.Inc()
+}
+
+// Recent returns copies of the most recent wide-event lines (oldest first,
+// at most the last 64 kept events). Nil-safe; the signature matches
+// prof.WatchdogConfig.RecentEvents so an afterd wires it straight in.
+func (w *Writer) Recent() [][]byte {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.recentN
+	start := uint64(0)
+	if n > recentRing {
+		start = n - recentRing
+	}
+	out := make([][]byte, 0, n-start)
+	for i := start; i < n; i++ {
+		line := w.recent[i%recentRing]
+		cp := make([]byte, len(line))
+		copy(cp, line)
+		out = append(out, cp)
+	}
+	return out
 }
 
 // Flush pushes buffered lines to the OS without fsync. Nil-safe.

@@ -7,6 +7,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/metrics"
 	"after/internal/obs"
+	"after/internal/obs/prof"
 	"after/internal/occlusion"
 	"after/internal/sim"
 )
@@ -76,12 +77,27 @@ type Guard struct {
 	// traceParent parents the guard.step span of the next Step call; the
 	// serving micro-batcher sets its batch span here before each solo step.
 	traceParent obs.SpanID
+
+	// profLabels is the continuous-profiling attribution handle forwarded to
+	// every stepper the guard starts (the chain head and each demotion), so
+	// solo serving steps carry (room, rec, phase) pprof labels like fused ones.
+	profLabels *prof.Labels
 }
 
 // SetTraceParent parents the guard.step span of subsequent Step calls under
 // parent, hanging the fallback-chain work off the caller's trace. Same
 // single-goroutine contract as Step.
 func (g *Guard) SetTraceParent(parent obs.SpanID) { g.traceParent = parent }
+
+// SetProfLabels forwards the profiling labels to the active stepper (and to
+// every stepper a later demotion starts). Same single-goroutine contract as
+// Step; steppers without the prof.Carrier capability just skip attribution.
+func (g *Guard) SetProfLabels(l *prof.Labels) {
+	g.profLabels = l
+	if pc, ok := g.stepper.(prof.Carrier); ok {
+		pc.SetProfLabels(l)
+	}
+}
 
 // NewGuard starts a protected session for target in room: the primary
 // recommender backed by cfg.Fallbacks, demoted in order, with hold-last-set
@@ -272,6 +288,9 @@ func (g *Guard) demote() {
 	g.chainIdx++
 	if g.chainIdx < len(g.chain) {
 		g.stepper = g.chain[g.chainIdx].StartEpisode(g.room, g.target)
+		if pc, ok := g.stepper.(prof.Carrier); ok {
+			pc.SetProfLabels(g.profLabels)
+		}
 	} else {
 		g.stepper = nil
 	}

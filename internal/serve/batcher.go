@@ -130,7 +130,13 @@ func (b *batcher) run() {
 		// The concurrency semaphore bounds simultaneous batch processing
 		// across rooms; queued batches wait here, visibly, as queue_wait.
 		b.rs.srv.procSem <- struct{}{}
+		// Stall watchdog: a batch owes every member a response within the
+		// straggler grace; one still running long past that (the watchdog's
+		// configured multiple) is a stall worth an incident bundle. Nil-safe
+		// no-op when no watchdog is configured.
+		tok := b.rs.srv.cfg.Watchdog.Arm("batch:"+b.rs.id, b.rs.srv.cfg.AbandonAfter)
 		b.rs.processBatch(batch)
+		b.rs.srv.cfg.Watchdog.Disarm(tok)
 		<-b.rs.srv.procSem
 	}
 }

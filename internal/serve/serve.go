@@ -40,6 +40,7 @@ import (
 
 	"after/internal/baselines"
 	"after/internal/obs"
+	"after/internal/obs/prof"
 	"after/internal/obs/quality"
 	"after/internal/obs/slo"
 	"after/internal/obs/wide"
@@ -138,6 +139,18 @@ type Config struct {
 	// it is shed (429/503), errors server-side, or serves a stale
 	// (degraded/hold) set.
 	SLOObjective float64
+
+	// Watchdog, when non-nil, is armed around every micro-batch the room
+	// workers process: a batch still running after Multiple× the server's
+	// AbandonAfter grace is a stall, and the watchdog dumps an incident
+	// bundle (goroutines, a short CPU profile, recent wide events). Nil
+	// disables stall detection at zero cost.
+	Watchdog *prof.Watchdog
+
+	// Profiler, when non-nil, is the continuous profiler whose aggregate
+	// Drain snapshots as PROF_serve.json (plus the last windowed CPU profile
+	// as cpu_serve.pb.gz) into SnapshotDir alongside the OBS artifact.
+	Profiler *prof.Profiler
 
 	// Clock overrides wall time in the guards' retry path (tests).
 	Clock resilience.Clock
@@ -375,16 +388,30 @@ func (s *Server) Close() error {
 	return s.Drain(ctx)
 }
 
-// snapshot writes the drain-time OBS/QUALITY artifacts.
+// snapshot writes the drain-time OBS/QUALITY artifacts (plus PROF_serve.json
+// when a continuous profiler is attached).
 func (s *Server) snapshot() error {
 	if s.cfg.SnapshotDir == "" {
 		return nil
 	}
+	// Refresh the runtime-health gauges (GC pauses, heap live/goal,
+	// goroutines, scheduler latency) so the OBS snapshot reflects the
+	// process state at drain, not the last collector tick.
+	prof.CollectHealth(nil)
 	if err := obs.Default().WriteJSON(filepath.Join(s.cfg.SnapshotDir, "OBS_serve.json")); err != nil {
 		return fmt.Errorf("serve: drain snapshot: %w", err)
 	}
 	if err := quality.Default().WriteJSON(filepath.Join(s.cfg.SnapshotDir, "QUALITY_serve.json")); err != nil {
 		return fmt.Errorf("serve: drain snapshot: %w", err)
+	}
+	if s.cfg.Profiler != nil {
+		s.cfg.Profiler.Rotate() // fold the live window so the snapshot is current
+		if err := s.cfg.Profiler.WriteJSON(filepath.Join(s.cfg.SnapshotDir, "PROF_serve.json")); err != nil {
+			return fmt.Errorf("serve: drain snapshot: %w", err)
+		}
+		// The raw windowed profile is best-effort: a run whose every window
+		// was skipped (profile slot owned elsewhere) has nothing to write.
+		_ = s.cfg.Profiler.WriteLastProfile(filepath.Join(s.cfg.SnapshotDir, "cpu_serve.pb.gz"))
 	}
 	return nil
 }

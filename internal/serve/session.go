@@ -11,6 +11,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/geom"
 	"after/internal/obs"
+	"after/internal/obs/prof"
 	"after/internal/occlusion"
 	"after/internal/parallel"
 	"after/internal/resilience"
@@ -115,6 +116,11 @@ type roomSession struct {
 	batch       sim.BatchStepper
 	batchBroken bool
 	batchPanics int
+
+	// lbl carries the room's continuous-profiling labels (room id + primary
+	// name). Lazily built by the batch worker on the first batch processed
+	// with profiling on; nil while profiling is off (every Set no-ops).
+	lbl *prof.Labels
 
 	bat *batcher
 
@@ -503,6 +509,16 @@ func (rs *roomSession) processBatch(batch []*pending) {
 	bsp := obs.Begin("serve.batch")
 	defer bsp.End()
 
+	// Label the worker goroutine with this room's (room, rec) pair for the
+	// continuous profiler. Both the fused pass (run inline or in fusedStep's
+	// deadline goroutine) and the solo fan-out inherit these at spawn; the
+	// core session's own phase switches refine them via prof.Carrier below.
+	if prof.On() && rs.lbl == nil {
+		rs.lbl = prof.NewLabels(rs.id, rs.srv.cfg.Primary.Name())
+	}
+	rs.lbl.Set(prof.PhaseBatch)
+	defer prof.Clear()
+
 	rs.fmu.Lock()
 	pos := rs.pos
 	step := rs.frameIdx
@@ -647,6 +663,9 @@ func (rs *roomSession) processBatch(batch []*pending) {
 		if tc, ok := rs.batch.(sim.TraceCarrier); ok {
 			tc.SetTraceParent(bsp.ID())
 		}
+		if pc, ok := rs.batch.(prof.Carrier); ok {
+			pc.SetProfLabels(rs.lbl)
+		}
 		stepStart := time.Now()
 		outs, soloFallback := rs.fusedStep(step, targets, frames, budget)
 		obsStepLat.Observe(time.Since(stepStart))
@@ -676,6 +695,7 @@ func (rs *roomSession) processBatch(batch []*pending) {
 		target := order[i]
 		budget := groupBudget(groups[target])
 		gs[i].SetTraceParent(bsp.ID())
+		gs[i].SetProfLabels(rs.lbl)
 		stepStart := time.Now()
 		frame := occlusion.BuildStatic(target, pos, rs.room.AvatarRadius)
 		rendered, fresh := gs[i].Step(step, frame, budget)

@@ -7,6 +7,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/metrics"
 	"after/internal/obs"
+	"after/internal/obs/prof"
 	"after/internal/obs/quality"
 	"after/internal/occlusion"
 )
@@ -25,7 +26,8 @@ type BatchStepper interface {
 // span. The serve micro-batcher sets its batch span as the parent before
 // each fused pass so the core forward's phase spans hang off the request
 // trace. Wrappers that delegate StepTargets must forward this too, or the
-// chain breaks at the wrapper.
+// chain breaks at the wrapper — and the same goes for prof.Carrier, the
+// profiling twin of this interface (continuous-profiler label threading).
 type TraceCarrier interface {
 	SetTraceParent(parent obs.SpanID)
 }
@@ -76,6 +78,15 @@ func RunBatchedEpisodes(rec BatchRecommender, room *dataset.Room, dogs []*occlus
 	if obs.On() {
 		stepHist = obs.Default().Histogram(obs.Label("sim.step", "rec", rec.Name()))
 		spanName = "step." + rec.Name()
+	}
+	// Label the fused loop for the continuous profiler (see RunEpisodeTrace).
+	if prof.On() {
+		ls := prof.NewLabels(room.Name, rec.Name())
+		if pc, ok := stepper.(prof.Carrier); ok {
+			pc.SetProfLabels(ls)
+		}
+		ls.Set(prof.PhaseNone)
+		defer prof.Clear()
 	}
 	frames := make([]*occlusion.StaticGraph, len(dogs))
 	var elapsed time.Duration

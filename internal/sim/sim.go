@@ -12,6 +12,7 @@ import (
 	"after/internal/dataset"
 	"after/internal/metrics"
 	"after/internal/obs"
+	"after/internal/obs/prof"
 	"after/internal/obs/quality"
 	"after/internal/occlusion"
 	"after/internal/parallel"
@@ -89,6 +90,18 @@ func RunEpisodeTrace(rec Recommender, room *dataset.Room, dog *occlusion.DOG, be
 	if obs.On() {
 		stepHist = obs.Default().Histogram(obs.Label("sim.step", "rec", rec.Name()))
 		spanName = "step." + rec.Name()
+	}
+	// Continuous-profiling attribution: label this goroutine (and, through
+	// prof.Carrier, the stepper's internal phase switches) with the episode's
+	// (room, rec) pair for the duration of the loop. One load-and-branch when
+	// profiling is off.
+	if prof.On() {
+		ls := prof.NewLabels(room.Name, rec.Name())
+		if pc, ok := stepper.(prof.Carrier); ok {
+			pc.SetProfLabels(ls)
+		}
+		ls.Set(prof.PhaseNone)
+		defer prof.Clear()
 	}
 	var elapsed time.Duration
 	for t, frame := range dog.Frames {
